@@ -1,0 +1,262 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VI). Latency figures run on the discrete-event
+// simulator with reduced (but shape-preserving) workload parameters;
+// Figure 8 runs in real time on the in-process runtime. Reported custom
+// metrics are milliseconds of commit latency (figures 1–7) or operations
+// per second (figure 8), so `go test -bench=.` prints the reproduction
+// headline numbers alongside the usual ns/op.
+package clockrsm_test
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/analysis"
+	"clockrsm/internal/runner"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// benchOpts are reduced-scale workload parameters for the simulated
+// latency experiments (the paper: 40 clients/replica, 60 s).
+func benchOpts() runner.FigureOptions {
+	return runner.FigureOptions{
+		ClientsPerReplica: 10,
+		Duration:          5 * time.Second,
+		Seed:              1,
+		Jitter:            500 * time.Microsecond,
+	}
+}
+
+// reportProtocolMeans attaches each protocol's replica-averaged mean
+// latency as a benchmark metric.
+func reportProtocolMeans(b *testing.B, bars []runner.Bar) {
+	b.Helper()
+	sums := make(map[runner.Protocol]float64)
+	counts := make(map[runner.Protocol]float64)
+	for _, bar := range bars {
+		sums[bar.Protocol] += float64(bar.Mean) / float64(time.Millisecond)
+		counts[bar.Protocol]++
+	}
+	for p, sum := range sums {
+		b.ReportMetric(sum/counts[p], "ms-mean/"+string(p))
+	}
+}
+
+// BenchmarkTable2 evaluates the analytic latency formulas of Table II
+// on the five-replica placement.
+func BenchmarkTable2(b *testing.B) {
+	m := wan.EC2Matrix(runner.FiveSites())
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 5; r++ {
+			id := types.ReplicaID(r)
+			sink += analysis.ClockRSMBalanced(m, id)
+			sink += analysis.Paxos(m, id, 1)
+			sink += analysis.PaxosBcast(m, id, 1)
+			sink += analysis.MenciusBcastImbalanced(m, id)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(analysis.ClockRSMBalanced(m, 0))/float64(time.Millisecond), "ms-clockrsm-CA")
+}
+
+// BenchmarkTable3 builds the EC2 latency matrix of Table III.
+func BenchmarkTable3(b *testing.B) {
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		m := wan.EC2Matrix(wan.AllSites())
+		sink += m.Max(0)
+	}
+	_ = sink
+}
+
+// BenchmarkFigure1LeaderCA regenerates Figure 1(a): five replicas,
+// balanced workload, Paxos leader at CA.
+func BenchmarkFigure1LeaderCA(b *testing.B) {
+	var bars []runner.Bar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = runner.Figure1(wan.CA, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportProtocolMeans(b, bars)
+}
+
+// BenchmarkFigure1LeaderVA regenerates Figure 1(b).
+func BenchmarkFigure1LeaderVA(b *testing.B) {
+	var bars []runner.Bar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = runner.Figure1(wan.VA, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportProtocolMeans(b, bars)
+}
+
+// BenchmarkFigure2LeaderCA regenerates Figure 2(a): three replicas,
+// balanced workload, leader at CA.
+func BenchmarkFigure2LeaderCA(b *testing.B) {
+	var bars []runner.Bar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = runner.Figure2(wan.CA, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportProtocolMeans(b, bars)
+}
+
+// BenchmarkFigure2LeaderVA regenerates Figure 2(b).
+func BenchmarkFigure2LeaderVA(b *testing.B) {
+	var bars []runner.Bar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = runner.Figure2(wan.VA, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportProtocolMeans(b, bars)
+}
+
+// reportCDF attaches each protocol's median from a CDF figure.
+func reportCDF(b *testing.B, series []runner.CDFSeries) {
+	b.Helper()
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		med := s.Points[len(s.Points)/2].Latency
+		b.ReportMetric(float64(med)/float64(time.Millisecond), "ms-median/"+string(s.Protocol))
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the latency CDF at JP with
+// five replicas, leader CA, balanced workload.
+func BenchmarkFigure3(b *testing.B) {
+	var series []runner.CDFSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = runner.Figure3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCDF(b, series)
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the latency CDF at CA with
+// three replicas, leader VA.
+func BenchmarkFigure4(b *testing.B) {
+	var series []runner.CDFSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = runner.Figure4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCDF(b, series)
+}
+
+// BenchmarkFigure5 regenerates Figure 5: imbalanced workloads at five
+// replicas (one serving replica per run), leader CA.
+func BenchmarkFigure5(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = 3 * time.Second // five runs per protocol inside
+	var bars []runner.Bar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = runner.Figure5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportProtocolMeans(b, bars)
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the latency CDF at SG under
+// the imbalanced workload.
+func BenchmarkFigure6(b *testing.B) {
+	var series []runner.CDFSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = runner.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCDF(b, series)
+}
+
+// BenchmarkFigure7 regenerates the numerical all-placements comparison
+// of Figure 7 (pure analytic model).
+func BenchmarkFigure7(b *testing.B) {
+	var rows []analysis.Figure7Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Figure7()
+	}
+	for _, r := range rows {
+		if r.Replicas == 5 {
+			b.ReportMetric(float64(r.ClockAll)/float64(time.Millisecond), "ms-clockrsm-all-5")
+			b.ReportMetric(float64(r.PaxosAll)/float64(time.Millisecond), "ms-paxosbcast-all-5")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV (pure analytic model).
+func BenchmarkTable4(b *testing.B) {
+	var table map[int][2]analysis.Table4Row
+	for i := 0; i < b.N; i++ {
+		table = analysis.Table4()
+	}
+	b.ReportMetric(table[5][0].Percentage, "pct-lower-5replicas")
+	b.ReportMetric(table[5][0].RelativeReduction, "pct-reduction-5replicas")
+}
+
+// benchThroughput runs one Figure 8 cell in real time.
+func benchThroughput(b *testing.B, p runner.Protocol, size int) {
+	b.Helper()
+	var ops float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner.RunThroughput(runner.ThroughputConfig{
+			Protocol:    p,
+			PayloadSize: size,
+			Warmup:      100 * time.Millisecond,
+			Duration:    400 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.OpsPerSec
+	}
+	b.ReportMetric(ops, "ops/s")
+}
+
+// BenchmarkFigure8 regenerates Figure 8: throughput per protocol and
+// command size on a local five-replica cluster.
+func BenchmarkFigure8(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		for _, p := range runner.AllProtocols() {
+			name := string(p) + "/" + sizeName(size)
+			b.Run(name, func(b *testing.B) { benchThroughput(b, p, size) })
+		}
+	}
+}
+
+func sizeName(size int) string {
+	switch size {
+	case 10:
+		return "10B"
+	case 100:
+		return "100B"
+	default:
+		return "1000B"
+	}
+}

@@ -1,0 +1,57 @@
+// Command kvctl is a minimal client for kvserver's line protocol.
+//
+// Usage:
+//
+//	kvctl -addr 127.0.0.1:7200 put greeting hello
+//	kvctl -addr 127.0.0.1:7200 get greeting
+//	kvctl -addr 127.0.0.1:7200 del greeting
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7200", "kvserver client address")
+	timeout := flag.Duration("timeout", 30*time.Second, "request timeout")
+	flag.Parse()
+
+	if err := run(*addr, *timeout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "kvctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, timeout time.Duration, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: kvctl [flags] put|get|del <key> [value]")
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+
+	line := strings.ToUpper(args[0]) + " " + strings.Join(args[1:], " ")
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("read reply: %w", err)
+	}
+	fmt.Print(resp)
+	if strings.HasPrefix(resp, "ERR") {
+		return fmt.Errorf("server error")
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Command kvserver runs one replica of the Clock-RSM replicated
+// key-value store over TCP, accepting line-oriented client commands:
+//
+//	PUT <key> <value>
+//	GET <key>
+//	DEL <key>
+//
+// Each command replies with "OK <previous-or-read-value>" once the
+// update has committed (linearizably) at this replica.
+//
+// Example three-replica cluster on one machine:
+//
+//	kvserver -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7200
+//	kvserver -id 1 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7201
+//	kvserver -id 2 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7202
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+func main() {
+	id := flag.Int("id", 0, "replica ID (index into -peers)")
+	peers := flag.String("peers", "", "comma-separated replica addresses, ordered by ID")
+	clientAddr := flag.String("client", "127.0.0.1:7200", "client listen address")
+	delta := flag.Duration("delta", 5*time.Millisecond, "CLOCKTIME broadcast interval Δ (0 disables)")
+	suspect := flag.Duration("suspect", 0, "failure detector timeout (0 disables reconfiguration)")
+	logPath := flag.String("log", "", "stable log file (empty = in-memory)")
+	flag.Parse()
+
+	if err := run(*id, *peers, *clientAddr, *delta, *suspect, *logPath); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id int, peerList, clientAddr string, delta, suspect time.Duration, logPath string) error {
+	addrs := make(map[types.ReplicaID]string)
+	var spec []types.ReplicaID
+	for i, a := range strings.Split(peerList, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return fmt.Errorf("empty peer address at position %d", i)
+		}
+		addrs[types.ReplicaID(i)] = a
+		spec = append(spec, types.ReplicaID(i))
+	}
+	if id < 0 || id >= len(spec) {
+		return fmt.Errorf("id %d out of range for %d peers", id, len(spec))
+	}
+
+	var lg storage.Log
+	replay := false
+	if logPath != "" {
+		fl, err := storage.OpenFileLog(logPath, storage.FileLogOptions{Sync: true})
+		if err != nil {
+			return err
+		}
+		lg = fl
+		replay = fl.Len() > 0
+	}
+
+	store := kvstore.New()
+	srv := &server{pending: make(map[types.CommandID]chan []byte)}
+	tr := transport.NewTCP(types.ReplicaID(id), addrs, transport.TCPOptions{})
+	nd := node.New(types.ReplicaID(id), spec, tr, node.Options{Log: lg})
+	app := &rsm.App{SM: store, OnReply: srv.onReply}
+	rep := core.New(nd, app, core.Options{
+		ClockTimeInterval: delta,
+		SuspectTimeout:    suspect,
+		Replay:            replay,
+	})
+	nd.SetProtocol(rep)
+	srv.node = nd
+	srv.replica = rep
+	if err := nd.Start(); err != nil {
+		return err
+	}
+	defer nd.Stop()
+	log.Printf("replica r%d up; peers=%v client=%s", id, peerList, clientAddr)
+
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.serve(conn)
+	}
+}
+
+// server bridges client connections to the replica.
+type server struct {
+	node    *node.Node
+	replica *core.Replica
+
+	mu      sync.Mutex
+	pending map[types.CommandID]chan []byte
+}
+
+// onReply routes execution results back to waiting client connections.
+// It runs on the node's event loop.
+func (s *server) onReply(res types.Result) {
+	s.mu.Lock()
+	ch := s.pending[res.ID]
+	delete(s.pending, res.ID)
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- res.Value
+	}
+}
+
+// serve handles one client connection.
+func (s *server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		payload, err := parse(line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			w.Flush()
+			continue
+		}
+		var cid types.CommandID
+		s.node.Do(func() { cid = s.replica.NextCommandID() })
+		ch := make(chan []byte, 1)
+		s.mu.Lock()
+		s.pending[cid] = ch
+		s.mu.Unlock()
+		s.node.Submit(types.Command{ID: cid, Payload: payload})
+
+		select {
+		case v := <-ch:
+			if v == nil {
+				fmt.Fprintln(w, "OK (nil)")
+			} else {
+				fmt.Fprintf(w, "OK %s\n", v)
+			}
+		case <-time.After(30 * time.Second):
+			s.mu.Lock()
+			delete(s.pending, cid)
+			s.mu.Unlock()
+			fmt.Fprintln(w, "ERR timeout")
+		}
+		w.Flush()
+	}
+}
+
+// parse converts a client line into a state-machine payload.
+func parse(line string) ([]byte, error) {
+	parts := strings.SplitN(line, " ", 3)
+	switch strings.ToUpper(parts[0]) {
+	case "PUT":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("usage: PUT <key> <value>")
+		}
+		return kvstore.Put(parts[1], []byte(parts[2])), nil
+	case "GET":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("usage: GET <key>")
+		}
+		return kvstore.Get(parts[1]), nil
+	case "DEL":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("usage: DEL <key>")
+		}
+		return kvstore.Delete(parts[1]), nil
+	default:
+		return nil, fmt.Errorf("unknown command %q", parts[0])
+	}
+}

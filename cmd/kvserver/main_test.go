@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clockrsm/internal/kvstore"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		line    string
+		want    []byte
+		wantErr bool
+	}{
+		{"PUT k v", kvstore.Put("k", []byte("v")), false},
+		{"put k v", kvstore.Put("k", []byte("v")), false},
+		{"PUT k value with spaces", kvstore.Put("k", []byte("value with spaces")), false},
+		{"GET k", kvstore.Get("k"), false},
+		{"DEL k", kvstore.Delete("k"), false},
+		{"PUT k", nil, true},
+		{"GET", nil, true},
+		{"NOPE k", nil, true},
+		{"DEL a b", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parse(tt.line)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parse(%q) error = %v, wantErr %v", tt.line, err, tt.wantErr)
+			continue
+		}
+		if err == nil && string(got) != string(tt.want) {
+			t.Errorf("parse(%q) = %v, want %v", tt.line, got, tt.want)
+		}
+	}
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestKVServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real TCP cluster")
+	}
+	peerAddrs := freePorts(t, 3)
+	clientAddrs := freePorts(t, 3)
+	peers := strings.Join(peerAddrs, ",")
+
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			// run blocks serving; errors after shutdown are expected.
+			_ = run(i, peers, clientAddrs[i], 5*time.Millisecond, 0, "")
+		}()
+	}
+
+	// Wait for the client port to accept.
+	dial := func(addr string) net.Conn {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			c, err := net.Dial("tcp", addr)
+			if err == nil {
+				return c
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("server at %s never came up", addr)
+		return nil
+	}
+
+	c0 := dial(clientAddrs[0])
+	defer c0.Close()
+	r0 := bufio.NewReader(c0)
+
+	send := func(conn net.Conn, r *bufio.Reader, line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(resp)
+	}
+
+	if resp := send(c0, r0, "PUT city Lausanne"); resp != "OK (nil)" {
+		t.Fatalf("PUT reply = %q", resp)
+	}
+	if resp := send(c0, r0, "GET city"); resp != "OK Lausanne" {
+		t.Fatalf("GET reply = %q", resp)
+	}
+	// Linearizable read via another replica.
+	c1 := dial(clientAddrs[1])
+	defer c1.Close()
+	r1 := bufio.NewReader(c1)
+	if resp := send(c1, r1, "GET city"); resp != "OK Lausanne" {
+		t.Fatalf("GET via r1 reply = %q", resp)
+	}
+	if resp := send(c1, r1, "DEL city"); resp != "OK Lausanne" {
+		t.Fatalf("DEL reply = %q", resp)
+	}
+	if resp := send(c0, r0, "BOGUS x"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("bogus command reply = %q", resp)
+	}
+}

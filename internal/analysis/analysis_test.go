@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func approxMs(t *testing.T, name string, got time.Duration, wantMs, tolMs float64) {
+	t.Helper()
+	g := float64(got) / float64(time.Millisecond)
+	if math.Abs(g-wantMs) > tolMs {
+		t.Errorf("%s = %.1fms, paper reports %.1fms (tol %.1f)", name, g, wantMs, tolMs)
+	}
+}
+
+func TestPaxosFormulasOnKnownMatrix(t *testing.T) {
+	// Distances from leader r0: {0,10,20,30,40}; others 25ms.
+	m := wan.NewMatrix(5)
+	for j := 1; j < 5; j++ {
+		m.Set(0, types.ReplicaID(j), ms(10*j))
+		for k := j + 1; k < 5; k++ {
+			m.Set(types.ReplicaID(j), types.ReplicaID(k), ms(25))
+		}
+	}
+	if got := PaxosLeader(m, 0); got != ms(40) {
+		t.Errorf("PaxosLeader = %v, want 40ms", got)
+	}
+	if got := PaxosNonLeader(m, 4, 0); got != ms(120) {
+		t.Errorf("PaxosNonLeader = %v, want 120ms", got)
+	}
+	if got := PaxosBcastNonLeader(m, 4, 0); got != ms(80) {
+		t.Errorf("PaxosBcastNonLeader = %v, want 80ms", got)
+	}
+	if got := Paxos(m, 0, 0); got != PaxosLeader(m, 0) {
+		t.Errorf("Paxos at leader = %v", got)
+	}
+	if got := PaxosBcast(m, 0, 0); got != PaxosLeader(m, 0) {
+		t.Errorf("PaxosBcast at leader = %v", got)
+	}
+	if got := MenciusBcastImbalanced(m, 0); got != ms(80) {
+		t.Errorf("MenciusBcastImbalanced = %v, want 80ms", got)
+	}
+	if got := ClockRSMIdle(m, 0); got != ms(80) {
+		t.Errorf("ClockRSMIdle = %v, want 80ms", got)
+	}
+	if got := ClockRSMIdleWithClockTime(m, 0, ms(5)); got != ms(45) {
+		t.Errorf("ClockRSMIdleWithClockTime = %v, want 45ms", got)
+	}
+}
+
+func TestClockRSMDominanceProperties(t *testing.T) {
+	// On random symmetric matrices: balanced ≥ imbalanced ≥ half of
+	// idle; Mencius imbalanced ≥ Clock-RSM imbalanced; Paxos ≥
+	// Paxos-bcast at non-leaders.
+	f := func(raw [7][7]uint16, li, ii uint8) bool {
+		n := 5
+		m := wan.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(types.ReplicaID(i), types.ReplicaID(j),
+					time.Duration(raw[i][j]%300+1)*time.Millisecond)
+			}
+		}
+		l := types.ReplicaID(int(li) % n)
+		i := types.ReplicaID(int(ii) % n)
+		if ClockRSMBalanced(m, i) < ClockRSMImbalanced(m, i) {
+			return false
+		}
+		if MenciusBcastImbalanced(m, i) < ClockRSMImbalanced(m, i) {
+			return false
+		}
+		_ = l
+		lo, hi := MenciusBcastBalancedBounds(m, i)
+		return lo <= hi && lo == ClockRSMBalanced(m, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	sites := wan.AllSites()
+	if got := len(Combinations(sites, 3)); got != 35 {
+		t.Errorf("C(7,3) = %d, want 35", got)
+	}
+	if got := len(Combinations(sites, 5)); got != 21 {
+		t.Errorf("C(7,5) = %d, want 21", got)
+	}
+	if got := len(Combinations(sites, 7)); got != 1 {
+		t.Errorf("C(7,7) = %d, want 1", got)
+	}
+	for _, c := range Combinations(sites, 3) {
+		if len(c) != 3 {
+			t.Fatalf("combination size %d", len(c))
+		}
+	}
+}
+
+func TestBestLeaderFiveSites(t *testing.T) {
+	// Section VI-B: "Designating the replica at VA as the leader gives
+	// the best overall latency for Paxos" with {CA,VA,IR,JP,SG}; for
+	// Paxos-bcast alone, CA edges out VA on the Table III matrix (the
+	// paper shares one leader across both protocols per experiment).
+	sites := []wan.Site{wan.CA, wan.VA, wan.IR, wan.JP, wan.SG}
+	m := wan.EC2Matrix(sites)
+	bestPlain, bestSum := types.ReplicaID(0), time.Duration(1<<62)
+	for l := 0; l < 5; l++ {
+		var sum time.Duration
+		for i := 0; i < 5; i++ {
+			sum += Paxos(m, types.ReplicaID(i), types.ReplicaID(l))
+		}
+		if sum < bestSum {
+			bestSum, bestPlain = sum, types.ReplicaID(l)
+		}
+	}
+	if sites[bestPlain] != wan.VA {
+		t.Errorf("best plain-Paxos leader = %v, paper says VA", sites[bestPlain])
+	}
+	if got := BestPaxosLeader(m); sites[got] != wan.CA {
+		t.Errorf("best Paxos-bcast leader = %v, expected CA on Table III data", sites[got])
+	}
+}
+
+func TestPaxosBcastRarelySlowerThanPaxos(t *testing.T) {
+	// Broadcasting 2b saves the commit notification, so Paxos-bcast
+	// should not exceed plain Paxos by more than triangle-inequality
+	// noise in the measured RTT matrix (a few slots violate it by ≤5ms).
+	for _, n := range []int{3, 5, 7} {
+		for _, sites := range Combinations(wan.AllSites(), n) {
+			m := wan.EC2Matrix(sites)
+			for l := 0; l < n; l++ {
+				for i := 0; i < n; i++ {
+					p := Paxos(m, types.ReplicaID(i), types.ReplicaID(l))
+					b := PaxosBcast(m, types.ReplicaID(i), types.ReplicaID(l))
+					if b > p+ms(5) {
+						t.Errorf("sites=%v leader=%v i=%v: bcast %v > paxos %v + 5ms", sites, sites[l], sites[i], b, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBestPaxosLeaderThreeSites(t *testing.T) {
+	// For {CA,VA,IR} the paper designates VA (smallest weighted degree).
+	sites := []wan.Site{wan.CA, wan.VA, wan.IR}
+	m := wan.EC2Matrix(sites)
+	if got := BestPaxosLeader(m); sites[got] != wan.VA {
+		t.Errorf("best leader = %v, paper says VA", sites[got])
+	}
+}
+
+func TestFigure7MatchesPaperShape(t *testing.T) {
+	rows := Figure7()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Replicas {
+		case 3:
+			// Paper: with three replicas Paxos-bcast is slightly better.
+			if r.ClockAll < r.PaxosAll {
+				t.Errorf("3 replicas: Clock-RSM all-avg %v beat Paxos-bcast %v; paper says slightly worse", r.ClockAll, r.PaxosAll)
+			}
+			diff := float64(r.ClockAll-r.PaxosAll) / float64(r.PaxosAll)
+			if diff > 0.10 {
+				t.Errorf("3 replicas: Clock-RSM worse by %.1f%%, paper says ≈6%%", 100*diff)
+			}
+		case 5, 7:
+			// Paper: Clock-RSM provides lower latency for both.
+			if r.ClockAll >= r.PaxosAll {
+				t.Errorf("%d replicas: Clock-RSM all-avg %v not lower than Paxos-bcast %v", r.Replicas, r.ClockAll, r.PaxosAll)
+			}
+			if r.ClockHighest >= r.PaxosHighest {
+				t.Errorf("%d replicas: Clock-RSM highest-avg %v not lower than Paxos-bcast %v", r.Replicas, r.ClockHighest, r.PaxosHighest)
+			}
+			// "Its improvement for the average highest latency is greater."
+			impAll := float64(r.PaxosAll-r.ClockAll) / float64(r.PaxosAll)
+			impHi := float64(r.PaxosHighest-r.ClockHighest) / float64(r.PaxosHighest)
+			if impHi <= impAll {
+				t.Errorf("%d replicas: highest-latency improvement %.1f%% not greater than all-replica %.1f%%", r.Replicas, 100*impHi, 100*impAll)
+			}
+		}
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	table := Table4()
+
+	// 3 replicas: paper reports 0.0% lower / 100.0% higher with
+	// -9.9ms (-6.2%).
+	r3 := table[3]
+	if r3[0].Percentage != 0 {
+		t.Errorf("3 replicas lower%% = %.1f, paper says 0.0", r3[0].Percentage)
+	}
+	approxMs(t, "3-replica higher abs", r3[1].AbsoluteReduction, -9.9, 0.5)
+	if math.Abs(r3[1].RelativeReduction-(-6.2)) > 0.5 {
+		t.Errorf("3-replica higher rel = %.1f%%, paper says -6.2%%", r3[1].RelativeReduction)
+	}
+
+	// 5 replicas: 68.6% / 31.4%; +31.9ms (15.2%) and -30.6ms (-14.6%).
+	r5 := table[5]
+	if math.Abs(r5[0].Percentage-68.6) > 0.1 {
+		t.Errorf("5 replicas lower%% = %.1f, paper says 68.6", r5[0].Percentage)
+	}
+	approxMs(t, "5-replica lower abs", r5[0].AbsoluteReduction, 31.9, 3)
+	approxMs(t, "5-replica higher abs", r5[1].AbsoluteReduction, -30.6, 3)
+
+	// 7 replicas: 85.7% / 14.3%; +50.2ms (21.5%) and -39.4ms (-16.9%).
+	r7 := table[7]
+	if math.Abs(r7[0].Percentage-85.7) > 0.1 {
+		t.Errorf("7 replicas lower%% = %.1f, paper says 85.7", r7[0].Percentage)
+	}
+	approxMs(t, "7-replica lower abs", r7[0].AbsoluteReduction, 50.2, 3)
+	approxMs(t, "7-replica higher abs", r7[1].AbsoluteReduction, -39.4, 1)
+
+	// Buckets partition the slots.
+	for _, n := range []int{3, 5, 7} {
+		if got := table[n][0].Percentage + table[n][1].Percentage; math.Abs(got-100) > 1e-9 {
+			t.Errorf("%d replicas: buckets sum to %.3f%%", n, got)
+		}
+	}
+}
+
+func TestEvaluateGroupConsistency(t *testing.T) {
+	g := EvaluateGroup([]wan.Site{wan.CA, wan.VA, wan.IR, wan.JP, wan.SG})
+	if len(g.Clock) != 5 || len(g.Paxos) != 5 {
+		t.Fatalf("lengths = %d/%d", len(g.Clock), len(g.Paxos))
+	}
+	m := wan.EC2Matrix(g.Sites)
+	if g.Paxos[g.Leader] != PaxosLeader(m, g.Leader) {
+		t.Error("leader latency mismatch")
+	}
+	for i := range g.Clock {
+		if g.Clock[i] <= 0 || g.Paxos[i] <= 0 {
+			t.Errorf("non-positive latency at %d", i)
+		}
+	}
+}
+
+// TestTable2GoldenFiveSites pins the analytic latencies for the paper's
+// five-replica placement, leader CA (the values cmd/rsmbench -exp
+// table2 prints). Derived from Table III; any regression in the model
+// or the dataset breaks these.
+func TestTable2GoldenFiveSites(t *testing.T) {
+	sites := []wan.Site{wan.CA, wan.VA, wan.IR, wan.JP, wan.SG}
+	m := wan.EC2Matrix(sites)
+	leader := types.ReplicaID(0) // CA
+	golden := []struct {
+		site                                    wan.Site
+		paxos, pbcast, mencius, clockIm, clockB float64 // ms
+	}{
+		{wan.CA, 125.0, 125.0, 171.0, 125.0, 135.5},
+		{wan.VA, 208.0, 177.0, 254.0, 127.0, 135.5},
+		{wan.IR, 295.0, 177.0, 280.0, 170.0, 170.5},
+		{wan.JP, 250.0, 186.5, 280.0, 140.0, 148.0},
+		{wan.SG, 296.0, 186.5, 254.0, 171.0, 171.0},
+	}
+	for i, g := range golden {
+		id := types.ReplicaID(i)
+		approxMs(t, g.site.String()+" Paxos", Paxos(m, id, leader), g.paxos, 0.01)
+		approxMs(t, g.site.String()+" Paxos-bcast", PaxosBcast(m, id, leader), g.pbcast, 0.01)
+		approxMs(t, g.site.String()+" Mencius-imbal", MenciusBcastImbalanced(m, id), g.mencius, 0.01)
+		approxMs(t, g.site.String()+" Clock-imbal", ClockRSMImbalanced(m, id), g.clockIm, 0.01)
+		approxMs(t, g.site.String()+" Clock-balanced", ClockRSMBalanced(m, id), g.clockB, 0.01)
+	}
+}
+
+// TestFigure7Golden pins the Figure 7 aggregates.
+func TestFigure7Golden(t *testing.T) {
+	rows := Figure7()
+	golden := map[int][4]float64{ // paxosAll, clockAll, paxosHi, clockHi (ms)
+		3: {158.6, 168.4, 211.0, 210.7},
+		5: {208.9, 197.3, 274.5, 232.6},
+		7: {232.9, 197.3, 282.0, 216.0},
+	}
+	for _, r := range rows {
+		g := golden[r.Replicas]
+		approxMs(t, "paxos all", r.PaxosAll, g[0], 0.1)
+		approxMs(t, "clock all", r.ClockAll, g[1], 0.1)
+		approxMs(t, "paxos highest", r.PaxosHighest, g[2], 0.1)
+		approxMs(t, "clock highest", r.ClockHighest, g[3], 0.1)
+	}
+}

@@ -1,0 +1,121 @@
+// Package clock provides the loosely synchronized physical clock sources
+// used by Clock-RSM (Section II-A). A clock only needs to provide
+// monotonically increasing timestamps; the protocol's correctness does not
+// depend on the synchronization precision, so skew is a tunable here.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock yields physical timestamps in nanoseconds. Implementations must
+// return strictly increasing values across successive calls from the same
+// goroutine; Monotonic can wrap any Clock to enforce this.
+type Clock interface {
+	// Now returns the current physical clock reading in nanoseconds.
+	Now() int64
+}
+
+// Func adapts a plain function to the Clock interface.
+type Func func() int64
+
+var _ Clock = Func(nil)
+
+// Now implements Clock.
+func (f Func) Now() int64 { return f() }
+
+// System is a Clock backed by the operating system's real-time clock,
+// the equivalent of clock_gettime in the paper's implementation.
+type System struct{}
+
+var _ Clock = System{}
+
+// Now implements Clock.
+func (System) Now() int64 { return time.Now().UnixNano() }
+
+// Monotonic wraps an underlying clock and guarantees strictly increasing
+// readings even if the underlying clock is stepped backwards (e.g. by an
+// NTP adjustment) or returns duplicate values. It is safe for concurrent
+// use.
+type Monotonic struct {
+	mu   sync.Mutex
+	src  Clock
+	last int64
+}
+
+var _ Clock = (*Monotonic)(nil)
+
+// NewMonotonic returns a Monotonic view over src.
+func NewMonotonic(src Clock) *Monotonic {
+	return &Monotonic{src: src}
+}
+
+// Now implements Clock. If the source has not advanced since the previous
+// call, the reading is bumped by one nanosecond.
+func (m *Monotonic) Now() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.src.Now()
+	if now <= m.last {
+		now = m.last + 1
+	}
+	m.last = now
+	return now
+}
+
+// Skewed offsets an underlying clock by a constant skew and an optional
+// linear drift, modelling a replica whose NTP-disciplined clock is a few
+// milliseconds off from true time.
+type Skewed struct {
+	src   Clock
+	skew  int64   // constant offset in ns
+	drift float64 // fractional drift, e.g. 1e-5 = 10 ppm
+	base  int64   // source reading at construction, anchor for drift
+}
+
+var _ Clock = (*Skewed)(nil)
+
+// NewSkewed returns a clock reading src.Now() + skew + drift*(elapsed).
+func NewSkewed(src Clock, skew time.Duration, drift float64) *Skewed {
+	return &Skewed{src: src, skew: int64(skew), drift: drift, base: src.Now()}
+}
+
+// Now implements Clock.
+func (s *Skewed) Now() int64 {
+	now := s.src.Now()
+	return now + s.skew + int64(float64(now-s.base)*s.drift)
+}
+
+// Manual is a hand-advanced clock for tests.
+type Manual struct {
+	mu  sync.Mutex
+	now int64
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a Manual clock starting at now.
+func NewManual(now int64) *Manual { return &Manual{now: now} }
+
+// Now implements Clock.
+func (m *Manual) Now() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d nanoseconds. Negative deltas are
+// allowed so tests can exercise monotonic guards.
+func (m *Manual) Advance(d int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now += d
+}
+
+// Set moves the clock to an absolute reading.
+func (m *Manual) Set(now int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}

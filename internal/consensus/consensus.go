@@ -1,0 +1,276 @@
+// Package consensus implements the PROPOSE/DECIDE primitive used by
+// Clock-RSM's reconfiguration protocol (Algorithm 3, Section V-A): a
+// sequence of single-decree Paxos instances over all replicas in Spec.
+// "In practice one can use a protocol like Paxos to implement the
+// primitives" — we do exactly that.
+package consensus
+
+import (
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+)
+
+// Transport is the narrow environment consensus needs. rsm.Env
+// satisfies it.
+type Transport interface {
+	Send(to types.ReplicaID, m msg.Message)
+	After(d time.Duration, fn func())
+}
+
+// DefaultRetryTimeout is how long a proposer waits for a decision before
+// retrying with a higher ballot.
+const DefaultRetryTimeout = 2 * time.Second
+
+// instance carries acceptor and proposer state for one consensus
+// instance.
+type instance struct {
+	// Acceptor state.
+	promised       uint64
+	acceptedBallot uint64
+	acceptedValue  []byte
+
+	// Learner state.
+	decided      bool
+	decidedValue []byte
+
+	// Proposer state (nil ballot == not proposing).
+	proposing  bool
+	myValue    []byte
+	ballot     uint64
+	p1bs       map[types.ReplicaID]*msg.P1b
+	p2bs       map[types.ReplicaID]bool
+	phase2Sent bool
+	attempt    int
+}
+
+// Paxos runs single-decree Paxos instances identified by a uint64 (the
+// epoch number in Algorithm 3). All methods must be called from the
+// owning replica's event loop.
+type Paxos struct {
+	self      types.ReplicaID
+	peers     []types.ReplicaID // all replicas in Spec, including self
+	tr        Transport
+	onDecide  func(instance uint64, value []byte)
+	retry     time.Duration
+	instances map[uint64]*instance
+}
+
+// New creates a Paxos participant. onDecide fires exactly once per
+// instance, on every replica that learns the decision. retry ≤ 0 uses
+// DefaultRetryTimeout.
+func New(self types.ReplicaID, peers []types.ReplicaID, tr Transport, retry time.Duration, onDecide func(uint64, []byte)) *Paxos {
+	if retry <= 0 {
+		retry = DefaultRetryTimeout
+	}
+	return &Paxos{
+		self:      self,
+		peers:     peers,
+		tr:        tr,
+		onDecide:  onDecide,
+		retry:     retry,
+		instances: make(map[uint64]*instance),
+	}
+}
+
+// inst returns (allocating if needed) the state for instance k.
+func (p *Paxos) inst(k uint64) *instance {
+	in, ok := p.instances[k]
+	if !ok {
+		in = &instance{}
+		p.instances[k] = in
+	}
+	return in
+}
+
+// majority is a majority of Spec.
+func (p *Paxos) majority() int { return types.Majority(len(p.peers)) }
+
+// ballotFor builds a globally unique ballot for this replica:
+// attempt*N + selfIndex + 1.
+func (p *Paxos) ballotFor(attempt int) uint64 {
+	return uint64(attempt)*uint64(len(p.peers)) + uint64(p.self) + 1
+}
+
+// Decided returns the decided value of instance k, if known.
+func (p *Paxos) Decided(k uint64) ([]byte, bool) {
+	in, ok := p.instances[k]
+	if !ok || !in.decided {
+		return nil, false
+	}
+	return in.decidedValue, true
+}
+
+// Propose starts proposing value for instance k. If a decision is
+// already known the decide callback has fired and the call is a no-op.
+// Proposals retry with increasing ballots until some decision is
+// learned; Paxos guarantees the decided value is one of the proposed
+// ones.
+func (p *Paxos) Propose(k uint64, value []byte) {
+	in := p.inst(k)
+	if in.decided || in.proposing {
+		return
+	}
+	in.proposing = true
+	in.myValue = value
+	p.startRound(k, in)
+}
+
+// startRound begins a fresh ballot for an undecided instance.
+func (p *Paxos) startRound(k uint64, in *instance) {
+	if in.decided {
+		return
+	}
+	in.ballot = p.ballotFor(in.attempt)
+	in.attempt++
+	in.p1bs = make(map[types.ReplicaID]*msg.P1b)
+	in.p2bs = make(map[types.ReplicaID]bool)
+	in.phase2Sent = false
+
+	m := &msg.P1a{Instance: k, Ballot: in.ballot}
+	for _, q := range p.peers {
+		if q == p.self {
+			p.onP1a(p.self, m)
+		} else {
+			p.tr.Send(q, m)
+		}
+	}
+	// Retry with a higher ballot if no decision arrives. Stagger by
+	// replica ID so duelling proposers eventually separate.
+	ballot := in.ballot
+	p.tr.After(p.retry+time.Duration(p.self)*50*time.Millisecond, func() {
+		if !in.decided && in.proposing && in.ballot == ballot {
+			p.startRound(k, in)
+		}
+	})
+}
+
+// Deliver processes a consensus message; it returns false if m is not a
+// consensus message so callers can route other traffic elsewhere.
+func (p *Paxos) Deliver(from types.ReplicaID, m msg.Message) bool {
+	switch mm := m.(type) {
+	case *msg.P1a:
+		p.onP1a(from, mm)
+	case *msg.P1b:
+		p.onP1b(from, mm)
+	case *msg.P2a:
+		p.onP2a(from, mm)
+	case *msg.P2b:
+		p.onP2b(from, mm)
+	case *msg.Learn:
+		p.onLearn(mm)
+	default:
+		return false
+	}
+	return true
+}
+
+// onP1a handles a prepare request (acceptor).
+func (p *Paxos) onP1a(from types.ReplicaID, m *msg.P1a) {
+	in := p.inst(m.Instance)
+	if in.decided {
+		p.reply(from, &msg.Learn{Instance: m.Instance, Value: in.decidedValue})
+		return
+	}
+	if m.Ballot > in.promised {
+		in.promised = m.Ballot
+	}
+	// Reply with the promised ballot; the proposer only counts replies
+	// matching its ballot, so a higher promised value acts as a NACK.
+	p.reply(from, &msg.P1b{
+		Instance:       m.Instance,
+		Ballot:         in.promised,
+		AcceptedBallot: in.acceptedBallot,
+		Value:          in.acceptedValue,
+	})
+}
+
+// onP1b handles a promise (proposer).
+func (p *Paxos) onP1b(from types.ReplicaID, m *msg.P1b) {
+	in := p.inst(m.Instance)
+	if in.decided || !in.proposing || m.Ballot != in.ballot || in.phase2Sent {
+		return
+	}
+	in.p1bs[from] = m
+	if len(in.p1bs) < p.majority() {
+		return
+	}
+	// Choose the value of the highest accepted ballot, else our own.
+	value := in.myValue
+	var best uint64
+	for _, r := range in.p1bs {
+		if r.AcceptedBallot > best {
+			best = r.AcceptedBallot
+			value = r.Value
+		}
+	}
+	in.phase2Sent = true
+	m2 := &msg.P2a{Instance: m.Instance, Ballot: in.ballot, Value: value}
+	for _, q := range p.peers {
+		if q == p.self {
+			p.onP2a(p.self, m2)
+		} else {
+			p.tr.Send(q, m2)
+		}
+	}
+}
+
+// onP2a handles an accept request (acceptor).
+func (p *Paxos) onP2a(from types.ReplicaID, m *msg.P2a) {
+	in := p.inst(m.Instance)
+	if in.decided {
+		p.reply(from, &msg.Learn{Instance: m.Instance, Value: in.decidedValue})
+		return
+	}
+	if m.Ballot < in.promised {
+		return // stale ballot: ignore; proposer's retry timer recovers
+	}
+	in.promised = m.Ballot
+	in.acceptedBallot = m.Ballot
+	in.acceptedValue = m.Value
+	p.reply(from, &msg.P2b{Instance: m.Instance, Ballot: m.Ballot})
+}
+
+// onP2b handles an accept acknowledgement (proposer).
+func (p *Paxos) onP2b(from types.ReplicaID, m *msg.P2b) {
+	in := p.inst(m.Instance)
+	if in.decided || !in.proposing || m.Ballot != in.ballot {
+		return
+	}
+	in.p2bs[from] = true
+	if len(in.p2bs) < p.majority() {
+		return
+	}
+	// Decided: this proposer's phase-2 value is chosen.
+	learn := &msg.Learn{Instance: m.Instance, Value: in.acceptedValue}
+	for _, q := range p.peers {
+		if q != p.self {
+			p.tr.Send(q, learn)
+		}
+	}
+	p.onLearn(learn)
+}
+
+// onLearn records a decision (learner) and fires the callback once.
+func (p *Paxos) onLearn(m *msg.Learn) {
+	in := p.inst(m.Instance)
+	if in.decided {
+		return
+	}
+	in.decided = true
+	in.decidedValue = m.Value
+	in.proposing = false
+	if p.onDecide != nil {
+		p.onDecide(m.Instance, m.Value)
+	}
+}
+
+// reply routes a message back to its sender, short-circuiting self.
+func (p *Paxos) reply(to types.ReplicaID, m msg.Message) {
+	if to == p.self {
+		p.Deliver(p.self, m)
+		return
+	}
+	p.tr.Send(to, m)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"container/heap"
+
+	"clockrsm/internal/types"
+)
+
+// pendingCmd is one not-yet-committed command (an element of
+// PendingCmds, Table I).
+type pendingCmd struct {
+	ts  types.Timestamp
+	cmd types.Command
+}
+
+// tsHeap is a min-heap of pending commands ordered by timestamp.
+type tsHeap []pendingCmd
+
+func (h tsHeap) Len() int           { return len(h) }
+func (h tsHeap) Less(i, j int) bool { return h[i].ts.Less(h[j].ts) }
+func (h tsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tsHeap) Push(x any)        { *h = append(*h, x.(pendingCmd)) }
+func (h *tsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = pendingCmd{}
+	*h = old[:n-1]
+	return e
+}
+
+// pendingSet is PendingCmds: a timestamp-ordered priority queue with
+// membership testing.
+type pendingSet struct {
+	h  tsHeap
+	in map[types.Timestamp]bool
+}
+
+// newPendingSet returns an empty set.
+func newPendingSet() *pendingSet {
+	return &pendingSet{in: make(map[types.Timestamp]bool)}
+}
+
+// Add inserts a command unless its timestamp is already pending.
+// It reports whether the command was inserted.
+func (p *pendingSet) Add(ts types.Timestamp, cmd types.Command) bool {
+	if p.in[ts] {
+		return false
+	}
+	p.in[ts] = true
+	heap.Push(&p.h, pendingCmd{ts: ts, cmd: cmd})
+	return true
+}
+
+// Len returns the number of pending commands.
+func (p *pendingSet) Len() int { return len(p.h) }
+
+// Min returns the pending command with the smallest timestamp. It must
+// not be called on an empty set.
+func (p *pendingSet) Min() pendingCmd { return p.h[0] }
+
+// PopMin removes and returns the smallest pending command.
+func (p *pendingSet) PopMin() pendingCmd {
+	e := heap.Pop(&p.h).(pendingCmd)
+	delete(p.in, e.ts)
+	return e
+}
+
+// Contains reports whether ts is pending.
+func (p *pendingSet) Contains(ts types.Timestamp) bool { return p.in[ts] }
+
+// Clear drops every pending command (used at reconfiguration).
+func (p *pendingSet) Clear() {
+	p.h = p.h[:0]
+	for ts := range p.in {
+		delete(p.in, ts)
+	}
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+	"sort"
+
+	"clockrsm/internal/consensus"
+	"clockrsm/internal/msg"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
+)
+
+// reconfigInit tracks an in-progress RECONFIGURE initiated locally
+// (Alg. 3 lines 1-6).
+type reconfigInit struct {
+	epoch   types.Epoch
+	cts     types.Timestamp
+	cfg     []types.ReplicaID
+	okMask  uint64
+	cmds    map[types.Timestamp]types.Command
+	propose bool
+}
+
+// decision is a decoded consensus outcome (Alg. 3 line 11).
+type decision struct {
+	epoch types.Epoch
+	cfg   []types.ReplicaID
+	ts    types.Timestamp
+	cmds  []msg.TimestampedCommand
+}
+
+// stateTransfer tracks an in-progress STATETRANSFER (Alg. 3 lines
+// 25-28) fetching committed commands this replica is missing.
+type stateTransfer struct {
+	epoch   types.Epoch
+	dec     *decision
+	from    types.Timestamp
+	to      types.Timestamp
+	okMask  uint64
+	cmds    map[types.Timestamp]types.Command
+	applied bool
+	// Best snapshot received: replaces replaying commands ≤ snapTS when
+	// a responder compacted part of the requested range (Section V-B).
+	snap   []byte
+	snapTS types.Timestamp
+}
+
+// Reconfigure triggers the reconfiguration protocol with a proposed new
+// configuration (Alg. 3 RECONFIGURE). It is invoked by the failure
+// detector on suspicion, or explicitly (e.g. by a recovered replica
+// rejoining via Rejoin).
+func (r *Replica) Reconfigure(confignew []types.ReplicaID) {
+	e := r.epoch + 1
+	if r.rc != nil && r.rc.epoch >= e {
+		return // already reconfiguring toward this epoch or later
+	}
+	cts := r.env.Log().LastCommitTS()
+	r.suspended = true
+	r.rc = &reconfigInit{
+		epoch: e,
+		cts:   cts,
+		cfg:   append([]types.ReplicaID(nil), confignew...),
+		cmds:  make(map[types.Timestamp]types.Command),
+	}
+	// Our own SUSPENDOK contribution.
+	r.rc.okMask |= 1 << uint(r.env.ID())
+	for _, tc := range r.env.Log().CommandsAfter(cts) {
+		r.rc.cmds[tc.TS] = tc.Cmd
+	}
+	m := &msg.Suspend{Epoch: e, CTS: cts}
+	for _, k := range r.spec {
+		if k != r.env.ID() {
+			r.env.Send(k, m)
+		}
+	}
+	r.maybePropose()
+}
+
+// Rejoin is the entry point for a recovered replica: it proposes a
+// configuration consisting of the current one plus itself. A recovered
+// replica may hold an arbitrarily stale view of the epoch (possibly
+// believing it is still configured), so Rejoin always forces a
+// reconfiguration to a strictly newer epoch; each attempt either
+// succeeds or teaches the replica one newer epoch (via the Learn reply
+// to its stale SUSPEND), and Rejoin self-retries until a reconfiguration
+// newer than its recovery point has put it back in the configuration.
+func (r *Replica) Rejoin() {
+	if r.rejoining && r.epoch >= r.rejoinTarget && r.inConfig[r.env.ID()] && !r.suspended {
+		r.rejoining = false
+		return
+	}
+	if !r.rejoining {
+		r.rejoining = true
+		r.rejoinTarget = r.epoch + 1
+	}
+	retry := r.opts.ConsensusRetry
+	if retry <= 0 {
+		retry = consensus.DefaultRetryTimeout
+	}
+	r.env.After(2*retry, r.Rejoin)
+	cfg := append([]types.ReplicaID(nil), r.config...)
+	found := false
+	for _, k := range cfg {
+		if k == r.env.ID() {
+			found = true
+		}
+	}
+	if !found {
+		cfg = append(cfg, r.env.ID())
+		sort.Slice(cfg, func(i, j int) bool { return cfg[i] < cfg[j] })
+	}
+	r.rc = nil // a rejoin supersedes any stale attempt
+	r.Reconfigure(cfg)
+}
+
+// onSuspend handles 〈SUSPEND e, cts〉 (Alg. 3 lines 7-10): freeze the
+// log and return every logged command newer than cts.
+func (r *Replica) onSuspend(from types.ReplicaID, m *msg.Suspend) {
+	if m.Epoch <= r.epoch {
+		// Stale attempt: the sender lags (e.g. it recovered after missing
+		// reconfigurations). Teach it the decision for that epoch so it
+		// can catch up and retry.
+		if v, ok := r.px.Decided(uint64(m.Epoch)); ok {
+			r.env.Send(from, &msg.Learn{Instance: uint64(m.Epoch), Value: v})
+		}
+		return
+	}
+	r.suspended = true
+	cmds := r.env.Log().CommandsAfter(m.CTS)
+	r.env.Send(from, &msg.SuspendOK{Epoch: m.Epoch, Cmds: cmds})
+}
+
+// onSuspendOK collects SUSPENDOK replies (Alg. 3 line 5); once a
+// majority of Spec answered, the union of commands is proposed to
+// consensus (line 6).
+func (r *Replica) onSuspendOK(from types.ReplicaID, m *msg.SuspendOK) {
+	if r.rc == nil || m.Epoch != r.rc.epoch || r.rc.propose {
+		return
+	}
+	r.rc.okMask |= 1 << uint(from)
+	for _, tc := range m.Cmds {
+		r.rc.cmds[tc.TS] = tc.Cmd
+	}
+	r.maybePropose()
+}
+
+// maybePropose starts consensus once a majority of Spec is suspended.
+func (r *Replica) maybePropose() {
+	if r.rc == nil || r.rc.propose {
+		return
+	}
+	if bits.OnesCount64(r.rc.okMask) < types.Majority(len(r.spec)) {
+		return
+	}
+	r.rc.propose = true
+	val := encodeProposal(r.rc.cfg, r.rc.cts, sortedCmds(r.rc.cmds))
+	r.px.Propose(uint64(r.rc.epoch), val)
+}
+
+// onDecide is the DECIDE upcall from the consensus primitive (Alg. 3
+// lines 11-24). Decisions apply strictly in epoch order; replicas that
+// lag first fetch missing committed commands via STATETRANSFER.
+func (r *Replica) onDecide(instance uint64, value []byte) {
+	d, err := decodeProposal(value)
+	if err != nil {
+		return // cannot happen with our own encoder; ignore corrupt value
+	}
+	d.epoch = types.Epoch(instance)
+	r.stashed[d.epoch] = d
+	r.drainDecisions()
+}
+
+// drainDecisions applies every stashed decision that is next in epoch
+// order.
+func (r *Replica) drainDecisions() {
+	if r.st != nil && !r.st.applied {
+		return // a state transfer for the current decision is in flight
+	}
+	for {
+		d, ok := r.stashed[r.epoch+1]
+		if !ok {
+			return
+		}
+		if !r.beginApply(d) {
+			return // waiting for state transfer
+		}
+	}
+}
+
+// beginApply starts applying decision d, returning false if a state
+// transfer must complete first.
+func (r *Replica) beginApply(d *decision) bool {
+	r.suspended = true
+	cts := r.env.Log().LastCommitTS()
+	if cts.Less(d.ts) {
+		// This replica lags behind the decision baseline: fetch committed
+		// commands in (cts, d.ts] from a majority (Alg. 3 lines 13-14).
+		r.st = &stateTransfer{
+			epoch: d.epoch,
+			dec:   d,
+			from:  cts,
+			to:    d.ts,
+			cmds:  make(map[types.Timestamp]types.Command),
+		}
+		// Our own log answers immediately.
+		r.st.okMask |= 1 << uint(r.env.ID())
+		for _, tc := range r.env.Log().CommandsBetween(cts, d.ts) {
+			r.st.cmds[tc.TS] = tc.Cmd
+		}
+		req := &msg.RetrieveCmds{From: cts, To: d.ts}
+		for _, k := range r.spec {
+			if k != r.env.ID() {
+				r.env.Send(k, req)
+			}
+		}
+		if bits.OnesCount64(r.st.okMask) >= types.Majority(len(r.spec)) {
+			r.finishApply(d, sortedCmds(r.st.cmds))
+			return true
+		}
+		return false
+	}
+	r.finishApply(d, nil)
+	return true
+}
+
+// onRetrieveCmds serves a state-transfer request (Alg. 3 lines 29-31).
+// Served regardless of suspension or epoch: logs are stable. If part of
+// the requested range was compacted into a checkpoint, the snapshot is
+// shipped along with the commands above it.
+func (r *Replica) onRetrieveCmds(from types.ReplicaID, m *msg.RetrieveCmds) {
+	reply := &msg.RetrieveReply{Seq: uint64(r.epoch)}
+	low := m.From
+	if cpr, ok := r.env.Log().(storage.Checkpointer); ok {
+		if cp, ok := cpr.LastCheckpoint(); ok && m.From.Less(cp.TS) {
+			reply.HasSnap = true
+			reply.SnapTS = cp.TS
+			reply.Snap = cp.State
+			if m.To.Less(cp.TS) {
+				low = m.To
+			} else {
+				low = cp.TS
+			}
+		}
+	}
+	reply.Cmds = r.env.Log().CommandsBetween(low, m.To)
+	r.env.Send(from, reply)
+}
+
+// onRetrieveReply collects state-transfer responses until a majority of
+// Spec answered.
+func (r *Replica) onRetrieveReply(from types.ReplicaID, m *msg.RetrieveReply) {
+	st := r.st
+	if st == nil || st.applied {
+		return
+	}
+	st.okMask |= 1 << uint(from)
+	for _, tc := range m.Cmds {
+		// Only the requested range matters; a stale reply from an older
+		// transfer could carry other timestamps.
+		if st.from.Less(tc.TS) && tc.TS.LessEq(st.to) {
+			st.cmds[tc.TS] = tc.Cmd
+		}
+	}
+	if m.HasSnap && st.snapTS.Less(m.SnapTS) {
+		st.snap = m.Snap
+		st.snapTS = m.SnapTS
+	}
+	if bits.OnesCount64(st.okMask) >= types.Majority(len(r.spec)) {
+		st.applied = true
+		// Restore the newest received snapshot before applying commands;
+		// it covers every command ≤ snapTS that some responder compacted.
+		if st.snap != nil && r.env.Log().LastCommitTS().Less(st.snapTS) {
+			if restored, err := r.app.TryRestore(st.snap); err == nil && restored {
+				if cpr, ok := r.env.Log().(storage.Checkpointer); ok {
+					cpr.WriteCheckpoint(storage.Checkpoint{TS: st.snapTS, State: st.snap})
+				}
+				r.committed++
+			}
+		}
+		r.finishApply(st.dec, sortedCmds(st.cmds))
+		r.drainDecisions()
+	}
+}
+
+// finishApply installs decision d (Alg. 3 lines 15-24): discard
+// uncommitted PREPAREs newer than the baseline, execute every decided
+// command not yet executed in timestamp order, install the new epoch and
+// configuration, and resume.
+func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand) {
+	lg := r.env.Log()
+	// Line 15: remove uncommitted PREPAREs above the baseline. Their
+	// commands either appear in d.cmds (they could have committed) or are
+	// lost; clients resubmit.
+	lg.RemovePrepares(d.ts)
+	r.pending.Clear()
+	r.acks = make(map[types.Timestamp]uint64)
+
+	// Lines 16-20: apply transferred commands (all ≤ d.ts) then decided
+	// commands (> d.ts) in timestamp order, skipping anything already
+	// executed. Commit marks are prefix-closed in timestamp order, so a
+	// single LastCommitTS comparison identifies executed commands.
+	all := make([]msg.TimestampedCommand, 0, len(transferred)+len(d.cmds))
+	all = append(all, transferred...)
+	all = append(all, d.cmds...)
+	sort.Slice(all, func(i, j int) bool { return all[i].TS.Less(all[j].TS) })
+	cts := lg.LastCommitTS()
+	for _, tc := range all {
+		if tc.TS.LessEq(cts) {
+			continue
+		}
+		if !lg.HasPrepare(tc.TS) {
+			lg.Append(storage.Entry{Kind: storage.KindPrepare, TS: tc.TS, Cmd: tc.Cmd})
+		}
+		lg.Append(storage.Entry{Kind: storage.KindCommit, TS: tc.TS})
+		cts = tc.TS
+		r.committed++
+		r.app.Execute(r.env.ID(), tc.TS, tc.Cmd)
+	}
+
+	// Lines 21-24: install epoch and configuration, resize LatestTV.
+	r.epoch = d.epoch
+	delete(r.stashed, d.epoch)
+	r.config = append(r.config[:0], d.cfg...)
+	for k := range r.inConfig {
+		delete(r.inConfig, k)
+	}
+	for _, k := range d.cfg {
+		r.inConfig[k] = true
+	}
+	// Reset LatestTV to the decision baseline: stable order resumes once
+	// the new configuration's members are heard from again.
+	for k := range r.latestTV {
+		r.latestTV[k] = 0
+	}
+	now := r.env.Clock()
+	for _, k := range d.cfg {
+		r.latestTV[k] = d.ts.Wall
+		r.lastHeard[k] = now
+	}
+	r.rc = nil
+	r.st = nil
+	r.suspended = false
+
+	// Replay commands buffered while suspended.
+	deferred := r.deferred
+	r.deferred = nil
+	for _, cmd := range deferred {
+		r.Submit(cmd)
+	}
+}
+
+// sortedCmds flattens a timestamp-keyed command map in timestamp order.
+func sortedCmds(m map[types.Timestamp]types.Command) []msg.TimestampedCommand {
+	out := make([]msg.TimestampedCommand, 0, len(m))
+	for ts, cmd := range m {
+		out = append(out, msg.TimestampedCommand{TS: ts, Cmd: cmd})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS.Less(out[j].TS) })
+	return out
+}
+
+// --- proposal encoding ---
+
+var errBadProposal = errors.New("core: malformed reconfiguration proposal")
+
+// encodeProposal serializes (confignew, cts, cmds) for the consensus
+// value (Alg. 3 line 6).
+func encodeProposal(cfg []types.ReplicaID, cts types.Timestamp, cmds []msg.TimestampedCommand) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cfg)))
+	for _, k := range cfg {
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(k)))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(cts.Wall))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(cts.Node)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cmds)))
+	for _, tc := range cmds {
+		b = binary.LittleEndian.AppendUint64(b, uint64(tc.TS.Wall))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(tc.TS.Node)))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(tc.Cmd.ID.Origin)))
+		b = binary.LittleEndian.AppendUint64(b, tc.Cmd.ID.Seq)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(tc.Cmd.Payload)))
+		b = append(b, tc.Cmd.Payload...)
+	}
+	return b
+}
+
+// decodeProposal parses an encodeProposal value.
+func decodeProposal(b []byte) (*decision, error) {
+	d := &decision{}
+	u32 := func() (uint32, bool) {
+		if len(b) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(b) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return v, true
+	}
+	n, ok := u32()
+	if !ok {
+		return nil, errBadProposal
+	}
+	for i := uint32(0); i < n; i++ {
+		k, ok := u32()
+		if !ok {
+			return nil, errBadProposal
+		}
+		d.cfg = append(d.cfg, types.ReplicaID(int32(k)))
+	}
+	wall, ok1 := u64()
+	node, ok2 := u32()
+	if !ok1 || !ok2 {
+		return nil, errBadProposal
+	}
+	d.ts = types.Timestamp{Wall: int64(wall), Node: types.ReplicaID(int32(node))}
+	cn, ok := u32()
+	if !ok {
+		return nil, errBadProposal
+	}
+	for i := uint32(0); i < cn; i++ {
+		var tc msg.TimestampedCommand
+		w, ok1 := u64()
+		nd, ok2 := u32()
+		og, ok3 := u32()
+		sq, ok4 := u64()
+		pl, ok5 := u32()
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || uint64(len(b)) < uint64(pl) {
+			return nil, errBadProposal
+		}
+		tc.TS = types.Timestamp{Wall: int64(w), Node: types.ReplicaID(int32(nd))}
+		tc.Cmd.ID = types.CommandID{Origin: types.ReplicaID(int32(og)), Seq: sq}
+		tc.Cmd.Payload = append([]byte(nil), b[:pl]...)
+		b = b[pl:]
+		d.cmds = append(d.cmds, tc)
+	}
+	if len(b) != 0 {
+		return nil, errBadProposal
+	}
+	return d, nil
+}

@@ -1,0 +1,422 @@
+// Package core implements Clock-RSM, the paper's primary contribution:
+// a multi-leader state machine replication protocol that totally orders
+// commands with loosely synchronized physical clocks (Algorithm 1), the
+// periodic clock-time broadcast extension (Algorithm 2), and the
+// reconfiguration and recovery protocols (Algorithm 3, Section V).
+package core
+
+import (
+	"math/bits"
+	"time"
+
+	"clockrsm/internal/consensus"
+	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
+)
+
+// Options tune a Clock-RSM replica.
+type Options struct {
+	// ClockTimeInterval is Δ of Algorithm 2: the minimum interval at
+	// which a replica broadcasts its clock when idle. Zero disables the
+	// extension (the protocol stays quiescent).
+	ClockTimeInterval time.Duration
+	// SuspectTimeout enables the failure detector: a configured replica
+	// not heard from for this long is suspected and a reconfiguration
+	// removing it is triggered (Section V). Zero disables detection.
+	SuspectTimeout time.Duration
+	// ConsensusRetry is the reproposal timeout of the reconfiguration
+	// consensus; zero uses the consensus package default.
+	ConsensusRetry time.Duration
+	// Replay, when true, re-executes the committed prefix found in the
+	// stable log before the replica starts (recovery, Section V-B). If
+	// the log holds a checkpoint, the state machine is restored from it
+	// and only the tail is replayed.
+	Replay bool
+	// CheckpointEvery, when positive, takes a state-machine snapshot
+	// every that many committed commands and compacts the log through it
+	// (the checkpointing optimization of Section V-B). Requires the
+	// state machine to implement rsm.Snapshotter and the log
+	// storage.Checkpointer; otherwise it is ignored.
+	CheckpointEvery int
+}
+
+// Replica is one Clock-RSM replica. All methods must be invoked from the
+// replica's event loop (simulator dispatch or node goroutine); the type
+// itself holds no locks.
+type Replica struct {
+	env  rsm.Env
+	app  *rsm.App
+	opts Options
+
+	spec     []types.ReplicaID
+	epoch    types.Epoch
+	config   []types.ReplicaID
+	inConfig map[types.ReplicaID]bool
+
+	nextSeq uint64
+
+	pending *pendingSet
+	// acks[ts] is the bitmask of replicas known to have logged ts
+	// (RepCounter in Table I, deduplicated per sender).
+	acks map[types.Timestamp]uint64
+	// latestTV[k] is the latest clock reading known from replica k
+	// (LatestTV in Table I), indexed by replica ID. The entry for self
+	// is implicit: the local clock.
+	latestTV []int64
+	// lastSent is the wall timestamp of the last PREPARE / PREPAREOK /
+	// CLOCKTIME this replica broadcast; Algorithm 2 broadcasts CLOCKTIME
+	// once Clock ≥ lastSent + Δ.
+	lastSent int64
+	// lastHeard[k] is the local clock when a message from k last
+	// arrived; the failure detector compares it against SuspectTimeout.
+	// Only maintained when the detector is enabled.
+	lastHeard []int64
+
+	// Reconfiguration state (Algorithm 3).
+	suspended bool
+	px        *consensus.Paxos
+	rc        *reconfigInit
+	st        *stateTransfer
+	// stashed holds decisions for epochs we cannot apply yet.
+	stashed map[types.Epoch]*decision
+	// rejoining/rejoinTarget track an in-progress Rejoin of a recovered
+	// replica: done once epoch ≥ rejoinTarget with self configured.
+	rejoining    bool
+	rejoinTarget types.Epoch
+	// deferred buffers client commands submitted while suspended.
+	deferred []types.Command
+
+	// sinceCheckpoint counts commands executed since the last
+	// checkpoint.
+	sinceCheckpoint int
+
+	// Counters exposed for tests and measurements.
+	committed   uint64
+	waits       uint64 // times the line-8 wait actually blocked
+	checkpoints uint64
+}
+
+var _ rsm.Protocol = (*Replica)(nil)
+
+// New creates a Clock-RSM replica over env, executing committed commands
+// against app. The initial configuration is the full Spec. If
+// opts.Replay is set, the committed prefix of env.Log() is re-executed
+// (recovery from stable storage, Section V-B).
+func New(env rsm.Env, app *rsm.App, opts Options) *Replica {
+	spec := env.Spec()
+	r := &Replica{
+		env:       env,
+		app:       app,
+		opts:      opts,
+		spec:      spec,
+		config:    append([]types.ReplicaID(nil), spec...),
+		inConfig:  make(map[types.ReplicaID]bool, len(spec)),
+		pending:   newPendingSet(),
+		acks:      make(map[types.Timestamp]uint64),
+		latestTV:  make([]int64, len(spec)),
+		lastHeard: make([]int64, len(spec)),
+		stashed:   make(map[types.Epoch]*decision),
+	}
+	for _, id := range spec {
+		r.inConfig[id] = true
+	}
+	r.px = consensus.New(env.ID(), spec, env, opts.ConsensusRetry, r.onDecide)
+	if opts.Replay {
+		// Restore the latest checkpoint, if any, then replay the tail
+		// (Section V-B).
+		if cpr, ok := env.Log().(storage.Checkpointer); ok {
+			if cp, ok := cpr.LastCheckpoint(); ok {
+				if restored, err := r.app.TryRestore(cp.State); err == nil && restored {
+					r.committed++ // the checkpoint covers ≥ 1 command
+				}
+			}
+		}
+		committed, _ := storage.CommittedCommands(env.Log())
+		for _, tc := range committed {
+			r.app.Execute(types.NoReplica, tc.TS, tc.Cmd) // suppress client replies on replay
+			r.committed++
+		}
+	}
+	return r
+}
+
+// Start installs the periodic timers (Algorithm 2 broadcast and failure
+// detection).
+func (r *Replica) Start() {
+	now := r.env.Clock()
+	for _, k := range r.spec {
+		r.lastHeard[k] = now
+	}
+	if d := r.opts.ClockTimeInterval; d > 0 {
+		r.env.After(d, r.clockTimeTick)
+	}
+	if d := r.opts.SuspectTimeout; d > 0 {
+		r.env.After(d, r.detectTick)
+	}
+}
+
+// Epoch returns the current configuration epoch.
+func (r *Replica) Epoch() types.Epoch { return r.epoch }
+
+// Config returns a copy of the current configuration.
+func (r *Replica) Config() []types.ReplicaID {
+	return append([]types.ReplicaID(nil), r.config...)
+}
+
+// InConfig reports whether this replica is part of the current
+// configuration.
+func (r *Replica) InConfig() bool { return r.inConfig[r.env.ID()] }
+
+// Committed returns the number of commands executed so far.
+func (r *Replica) Committed() uint64 { return r.committed }
+
+// Waits returns how many times the Algorithm 1 line-8 wait actually had
+// to block (expected to be rare with reasonable clock skew).
+func (r *Replica) Waits() uint64 { return r.waits }
+
+// Checkpoints returns the number of checkpoints taken.
+func (r *Replica) Checkpoints() uint64 { return r.checkpoints }
+
+// PendingLen returns the number of uncommitted pending commands.
+func (r *Replica) PendingLen() int { return r.pending.Len() }
+
+// NextCommandID allocates a command identifier for a local client.
+func (r *Replica) NextCommandID() types.CommandID {
+	r.nextSeq++
+	return types.CommandID{Origin: r.env.ID(), Seq: r.nextSeq}
+}
+
+// Submit handles 〈REQUEST cmd〉 from a local client (Alg. 1 lines 1-3):
+// assign the current clock as the command's timestamp and broadcast
+// PREPARE to the configuration.
+func (r *Replica) Submit(cmd types.Command) {
+	if r.suspended {
+		r.deferred = append(r.deferred, cmd)
+		return
+	}
+	if !r.inConfig[r.env.ID()] {
+		return // removed from the configuration; clients must fail over
+	}
+	ts := types.Timestamp{Wall: r.env.Clock(), Node: r.env.ID()}
+	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: ts, Cmd: cmd})
+	r.pending.Add(ts, cmd)
+	r.observe(r.env.ID(), ts.Wall)
+	r.ack(ts, r.env.ID())
+	r.lastSent = ts.Wall
+	rsm.Broadcast(r.env, r.config, &msg.Prepare{Epoch: r.epoch, TS: ts, Cmd: cmd})
+	r.tryCommit()
+}
+
+// Deliver routes a protocol message (Alg. 1 upon-clauses, Alg. 2/3
+// handlers and the consensus primitive).
+func (r *Replica) Deliver(from types.ReplicaID, m msg.Message) {
+	if r.opts.SuspectTimeout > 0 {
+		r.lastHeard[from] = r.env.Clock()
+	}
+	if r.px.Deliver(from, m) {
+		return
+	}
+	switch mm := m.(type) {
+	case *msg.Prepare:
+		r.onPrepare(from, mm)
+	case *msg.PrepareOK:
+		r.onPrepareOK(from, mm)
+	case *msg.ClockTime:
+		r.onClockTime(from, mm)
+	case *msg.Suspend:
+		r.onSuspend(from, mm)
+	case *msg.SuspendOK:
+		r.onSuspendOK(from, mm)
+	case *msg.RetrieveCmds:
+		r.onRetrieveCmds(from, mm)
+	case *msg.RetrieveReply:
+		r.onRetrieveReply(from, mm)
+	}
+}
+
+// onPrepare handles 〈PREPARE cmd, ts〉 from rk (Alg. 1 lines 4-10). The
+// PREPARE doubles as rk's own logging acknowledgement: rk appends to its
+// log before broadcasting, so receivers count it toward majority
+// replication without waiting for rk's PREPAREOK.
+func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
+	if m.Epoch != r.epoch || r.suspended {
+		return
+	}
+	if !r.pending.Add(m.TS, m.Cmd) {
+		return // duplicate delivery
+	}
+	r.observe(from, m.TS.Wall)
+	r.ack(m.TS, from)
+	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: m.TS, Cmd: m.Cmd})
+	// Line 8: wait until ts < Clock. The local clock is strictly
+	// increasing, so with synchronized clocks the wait never blocks; a
+	// fast remote clock (skew) forces a short delay before
+	// acknowledging, preserving the promise that this replica never
+	// sends a timestamp smaller than one it acknowledged.
+	if r.env.Clock() > m.TS.Wall {
+		r.ackPrepare(m.TS)
+		return
+	}
+	r.waits++
+	epoch := r.epoch
+	var retry func()
+	retry = func() {
+		if r.epoch != epoch || r.suspended {
+			return
+		}
+		if r.env.Clock() > m.TS.Wall {
+			r.ackPrepare(m.TS)
+			r.tryCommit()
+			return
+		}
+		r.env.After(time.Microsecond, retry)
+	}
+	r.env.After(time.Duration(m.TS.Wall-r.env.Clock())+time.Microsecond, retry)
+}
+
+// ackPrepare logs locally done; broadcast 〈PREPAREOK ts, clockTs〉 to the
+// configuration and count our own acknowledgement (Alg. 1 lines 9-10).
+func (r *Replica) ackPrepare(ts types.Timestamp) {
+	clockTS := r.env.Clock()
+	r.lastSent = clockTS
+	rsm.Broadcast(r.env, r.config, &msg.PrepareOK{Epoch: r.epoch, TS: ts, ClockTS: clockTS})
+	r.ack(ts, r.env.ID())
+	r.tryCommit()
+}
+
+// onPrepareOK handles 〈PREPAREOK ts, clockTs〉 from rk (Alg. 1 lines
+// 11-13).
+func (r *Replica) onPrepareOK(from types.ReplicaID, m *msg.PrepareOK) {
+	if m.Epoch != r.epoch || r.suspended {
+		return
+	}
+	r.observe(from, m.ClockTS)
+	r.ack(m.TS, from)
+	r.tryCommit()
+}
+
+// onClockTime handles 〈CLOCKTIME ts〉 (Alg. 2 lines 4-5).
+func (r *Replica) onClockTime(from types.ReplicaID, m *msg.ClockTime) {
+	if m.Epoch != r.epoch || r.suspended {
+		return
+	}
+	r.observe(from, m.TS)
+	r.tryCommit()
+}
+
+// clockTimeTick implements Algorithm 2 line 1: broadcast the clock if
+// nothing carrying a newer timestamp was sent in the last Δ.
+func (r *Replica) clockTimeTick() {
+	d := r.opts.ClockTimeInterval
+	now := r.env.Clock()
+	if !r.suspended && r.inConfig[r.env.ID()] && now >= r.lastSent+int64(d) {
+		r.lastSent = now
+		rsm.Broadcast(r.env, r.config, &msg.ClockTime{Epoch: r.epoch, TS: now})
+	}
+	r.env.After(d, r.clockTimeTick)
+}
+
+// observe folds a timestamp from replica k into LatestTV. Senders emit
+// monotonically increasing timestamps over FIFO links, so max() only
+// guards against duplicates.
+func (r *Replica) observe(k types.ReplicaID, wall int64) {
+	if wall > r.latestTV[k] {
+		r.latestTV[k] = wall
+	}
+}
+
+// ack records that replica k logged the command with timestamp ts.
+func (r *Replica) ack(ts types.Timestamp, k types.ReplicaID) {
+	r.acks[ts] |= 1 << uint(k)
+}
+
+// stable reports the stable-order condition (Alg. 1 line 22): no replica
+// in the configuration can still send a message with a timestamp smaller
+// than ts. Our own clock is strictly increasing past ts by construction.
+func (r *Replica) stable(ts types.Timestamp) bool {
+	for _, k := range r.config {
+		if k == r.env.ID() {
+			continue
+		}
+		if r.latestTV[k] < ts.Wall {
+			return false
+		}
+	}
+	return true
+}
+
+// tryCommit commits pending commands from the head of the timestamp
+// order while all three conditions of COMMITTED(ts) hold (Alg. 1 lines
+// 14-23): majority replication, stable order, and — by virtue of
+// committing strictly in timestamp order from the heap head — prefix
+// replication.
+func (r *Replica) tryCommit() {
+	if r.suspended {
+		return
+	}
+	maj := types.Majority(len(r.spec))
+	for r.pending.Len() > 0 {
+		head := r.pending.Min()
+		if bits.OnesCount64(r.acks[head.ts]) < maj || !r.stable(head.ts) {
+			return
+		}
+		r.pending.PopMin()
+		r.env.Log().Append(storage.Entry{Kind: storage.KindCommit, TS: head.ts})
+		delete(r.acks, head.ts)
+		r.committed++
+		r.app.Execute(r.env.ID(), head.ts, head.cmd)
+		r.maybeCheckpoint(head.ts)
+	}
+}
+
+// maybeCheckpoint takes a snapshot every CheckpointEvery commands and
+// compacts the log through it (Section V-B). It runs immediately after
+// executing the command with timestamp ts, so the snapshot covers
+// exactly the committed prefix up to ts.
+func (r *Replica) maybeCheckpoint(ts types.Timestamp) {
+	if r.opts.CheckpointEvery <= 0 {
+		return
+	}
+	r.sinceCheckpoint++
+	if r.sinceCheckpoint < r.opts.CheckpointEvery {
+		return
+	}
+	cpr, ok := r.env.Log().(storage.Checkpointer)
+	if !ok {
+		return
+	}
+	state, ok := r.app.TrySnapshot()
+	if !ok {
+		return
+	}
+	if err := cpr.WriteCheckpoint(storage.Checkpoint{TS: ts, State: state}); err != nil {
+		return // keep the uncompacted log; checkpointing is best-effort
+	}
+	r.sinceCheckpoint = 0
+	r.checkpoints++
+}
+
+// detectTick is the timeout failure detector (Section II-A): replicas in
+// the configuration not heard from within SuspectTimeout are suspected,
+// triggering a reconfiguration that removes them.
+func (r *Replica) detectTick() {
+	timeout := int64(r.opts.SuspectTimeout)
+	now := r.env.Clock()
+	if !r.suspended && r.inConfig[r.env.ID()] {
+		var next []types.ReplicaID
+		suspected := false
+		for _, k := range r.config {
+			if k != r.env.ID() && now-r.lastHeard[k] > timeout {
+				suspected = true
+				continue
+			}
+			next = append(next, k)
+		}
+		if suspected && len(next) >= types.Majority(len(r.spec)) {
+			r.Reconfigure(next)
+		}
+	}
+	r.env.After(r.opts.SuspectTimeout, r.detectTick)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"clockrsm/internal/sim"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// randomMatrix builds a random symmetric latency matrix with one-way
+// delays in [5ms, 150ms).
+func randomMatrix(rng *rand.Rand, n int) *wan.Matrix {
+	m := wan.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := time.Duration(5+rng.Intn(145)) * time.Millisecond
+			m.Set(types.ReplicaID(i), types.ReplicaID(j), d)
+		}
+	}
+	return m
+}
+
+// TestTotalOrderRandomTopologies fuzzes the protocol across random
+// latency matrices, skews, jitter and workloads: total order and
+// completeness must hold in every run.
+func TestTotalOrderRandomTopologies(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + 2*rng.Intn(2) // 3 or 5 replicas
+		skews := make([]time.Duration, n)
+		for i := range skews {
+			skews[i] = time.Duration(rng.Intn(41)-20) * time.Millisecond
+		}
+		h := newHarness(t, randomMatrix(rng, n),
+			Options{ClockTimeInterval: ms(5)},
+			sim.ClusterOptions{Seed: seed, Jitter: ms(3), Skews: skews})
+		total := 0
+		for k := 0; k < 60; k++ {
+			h.submitAt(types.ReplicaID(rng.Intn(n)), time.Duration(rng.Intn(3000))*time.Millisecond)
+			total++
+		}
+		h.c.Eng.RunUntil(30 * time.Second)
+		h.checkTotalOrder(total, nil)
+	}
+}
+
+// TestConcurrentReconfigurers exercises the consensus arbitration of
+// Algorithm 3: several replicas suspect the crashed one at once and all
+// call RECONFIGURE for the same epoch; exactly one configuration must
+// be decided.
+func TestConcurrentReconfigurers(t *testing.T) {
+	opts := Options{ClockTimeInterval: ms(5), SuspectTimeout: ms(250), ConsensusRetry: ms(400)}
+	h := newHarness(t, wan.Uniform(5, ms(10)), opts, sim.ClusterOptions{})
+	h.submitAt(0, ms(10))
+	h.c.Eng.RunUntil(200 * time.Millisecond)
+	// All four survivors detect the crash nearly simultaneously (same
+	// timeout), so several RECONFIGURE calls race toward epoch 1.
+	h.c.Eng.At(h.c.Eng.Now(), func() { h.c.Crash(4) })
+	h.c.Eng.RunUntil(10 * time.Second)
+
+	want := h.reps[0].Config()
+	for i := 1; i < 4; i++ {
+		got := h.reps[i].Config()
+		if len(got) != len(want) {
+			t.Fatalf("replica %d config %v != replica 0 config %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("replica %d config %v != replica 0 config %v", i, got, want)
+			}
+		}
+		if h.reps[i].Epoch() != h.reps[0].Epoch() {
+			t.Fatalf("epoch mismatch: %d vs %d", h.reps[i].Epoch(), h.reps[0].Epoch())
+		}
+	}
+	// And the system still commits.
+	cid := h.submitAt(0, h.c.Eng.Now()+ms(5))
+	h.c.Eng.RunUntil(h.c.Eng.Now() + 2*time.Second)
+	if _, ok := h.replies[0][cid]; !ok {
+		t.Fatal("no commit after concurrent reconfiguration")
+	}
+	h.checkTotalOrder(-1, map[int]bool{4: true})
+}
+
+// TestPartitionHealsWithoutReconfiguration: a short partition between
+// two replicas must only delay commits, not break ordering, as long as
+// no failure detector fires.
+func TestPartitionHealsWithoutReconfiguration(t *testing.T) {
+	h := newHarness(t, wan.Uniform(5, ms(10)), Options{ClockTimeInterval: ms(5)}, sim.ClusterOptions{})
+	h.submitAt(0, ms(10))
+	h.c.Eng.RunUntil(100 * time.Millisecond)
+
+	// Cut r0↔r4; commands from r0 cannot reach stable order at r0 until
+	// the partition heals (CLOCKTIME from r4 is missing).
+	h.c.Eng.At(h.c.Eng.Now(), func() { h.c.Net.Partition(0, 4) })
+	blocked := h.submitAt(0, h.c.Eng.Now()+ms(10))
+	h.c.Eng.RunUntil(h.c.Eng.Now() + time.Second)
+	if _, ok := h.replies[0][blocked]; ok {
+		t.Fatal("command committed at r0 despite missing r4's timestamps")
+	}
+	h.c.Eng.At(h.c.Eng.Now(), func() { h.c.Net.Heal(0, 4) })
+	h.c.Eng.RunUntil(h.c.Eng.Now() + 2*time.Second)
+	if _, ok := h.replies[0][blocked]; !ok {
+		t.Fatal("command did not commit after partition healed")
+	}
+	h.checkTotalOrder(2, nil)
+}
+
+// TestPartitionTriggersReconfiguration: with the failure detector on, a
+// lasting partition removes the unreachable replica and unblocks
+// commits without healing.
+func TestPartitionTriggersReconfiguration(t *testing.T) {
+	opts := Options{ClockTimeInterval: ms(5), SuspectTimeout: ms(300), ConsensusRetry: ms(400)}
+	h := newHarness(t, wan.Uniform(5, ms(10)), opts, sim.ClusterOptions{})
+	h.c.Eng.At(ms(50), func() {
+		// Isolate r4 from everyone.
+		for i := 0; i < 4; i++ {
+			h.c.Net.Partition(types.ReplicaID(i), 4)
+		}
+	})
+	cid := h.submitAt(0, ms(100))
+	h.c.Eng.RunUntil(10 * time.Second)
+	if _, ok := h.replies[0][cid]; !ok {
+		t.Fatal("command never committed after partition-driven reconfiguration")
+	}
+	if h.reps[0].Epoch() == 0 {
+		t.Error("no reconfiguration happened")
+	}
+	h.checkTotalOrder(-1, map[int]bool{4: true})
+}
+
+// TestBurstSubmissionSameInstant: many commands submitted at the exact
+// same virtual instant at every replica must still commit in a total
+// order (timestamp ties broken by replica ID).
+func TestBurstSubmissionSameInstant(t *testing.T) {
+	h := newHarness(t, wan.Uniform(5, ms(10)), Options{}, sim.ClusterOptions{})
+	total := 0
+	for i := 0; i < 5; i++ {
+		for k := 0; k < 10; k++ {
+			h.submitAt(types.ReplicaID(i), ms(100)) // all at t=100ms
+			total++
+		}
+	}
+	h.c.Eng.RunUntilIdle()
+	h.checkTotalOrder(total, nil)
+}
+
+// TestQuiescentWithoutExtension: with Δ disabled the protocol must be
+// quiescent — no traffic at all without client commands.
+func TestQuiescentWithoutExtension(t *testing.T) {
+	h := newHarness(t, wan.Uniform(3, ms(10)), Options{}, sim.ClusterOptions{})
+	h.c.Eng.RunUntil(10 * time.Second)
+	if h.c.Net.Sent != 0 {
+		t.Errorf("quiescent protocol sent %d messages", h.c.Net.Sent)
+	}
+	// With the extension enabled, CLOCKTIME flows.
+	h2 := newHarness(t, wan.Uniform(3, ms(10)), Options{ClockTimeInterval: ms(5)}, sim.ClusterOptions{})
+	h2.c.Eng.RunUntil(time.Second)
+	if h2.c.Net.Sent == 0 {
+		t.Error("extension enabled but no CLOCKTIME traffic")
+	}
+}

@@ -1,0 +1,79 @@
+// Package failure provides the timeout-based failure detector assumed
+// by the system model (Section II-A): it may be wrong, but eventually
+// every faulty process is suspected and at least one correct process is
+// not. Clock-RSM embeds an equivalent detector; this standalone version
+// serves the real runtime and tools.
+package failure
+
+import (
+	"sync"
+	"time"
+
+	"clockrsm/internal/types"
+)
+
+// Detector tracks per-replica liveness by heartbeat timestamps. It is
+// safe for concurrent use. The caller supplies the clock, so the
+// detector works under both real and simulated time.
+type Detector struct {
+	mu      sync.Mutex
+	timeout time.Duration
+	now     func() time.Time
+	last    map[types.ReplicaID]time.Time
+	// suspected remembers replicas already reported, so OnSuspect fires
+	// once per down-up cycle.
+	suspected map[types.ReplicaID]bool
+}
+
+// New creates a detector with the given suspicion timeout. now may be
+// nil, defaulting to time.Now.
+func New(timeout time.Duration, now func() time.Time) *Detector {
+	if now == nil {
+		now = time.Now
+	}
+	return &Detector{
+		timeout:   timeout,
+		now:       now,
+		last:      make(map[types.ReplicaID]time.Time),
+		suspected: make(map[types.ReplicaID]bool),
+	}
+}
+
+// Heartbeat records a sign of life from a replica. A heartbeat from a
+// suspected replica rehabilitates it.
+func (d *Detector) Heartbeat(id types.ReplicaID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.last[id] = d.now()
+	if d.suspected[id] {
+		delete(d.suspected, id)
+	}
+}
+
+// Suspects returns the replicas whose last heartbeat is older than the
+// timeout and that have not been reported before. Replicas never heard
+// from are not suspected until their first heartbeat (callers seed with
+// Heartbeat at startup).
+func (d *Detector) Suspects() []types.ReplicaID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	var out []types.ReplicaID
+	for id, at := range d.last {
+		if d.suspected[id] {
+			continue
+		}
+		if now.Sub(at) > d.timeout {
+			d.suspected[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IsSuspected reports whether the replica is currently suspected.
+func (d *Detector) IsSuspected(id types.ReplicaID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected[id]
+}

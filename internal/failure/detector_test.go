@@ -1,0 +1,107 @@
+package failure
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func TestSuspectsAfterTimeout(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	d := New(100*time.Millisecond, fc.now)
+	d.Heartbeat(1)
+	d.Heartbeat(2)
+
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects too early: %v", s)
+	}
+	fc.advance(50 * time.Millisecond)
+	d.Heartbeat(2) // keep r2 alive
+	fc.advance(70 * time.Millisecond)
+	s := d.Suspects()
+	if len(s) != 1 || s[0] != 1 {
+		t.Fatalf("suspects = %v, want [r1]", s)
+	}
+	if !d.IsSuspected(1) || d.IsSuspected(2) {
+		t.Error("IsSuspected wrong")
+	}
+}
+
+func TestSuspectReportedOnce(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	d := New(10*time.Millisecond, fc.now)
+	d.Heartbeat(1)
+	fc.advance(20 * time.Millisecond)
+	if s := d.Suspects(); len(s) != 1 {
+		t.Fatalf("first call: %v", s)
+	}
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("second call should be empty: %v", s)
+	}
+}
+
+func TestRehabilitation(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	d := New(10*time.Millisecond, fc.now)
+	d.Heartbeat(1)
+	fc.advance(20 * time.Millisecond)
+	d.Suspects()
+	if !d.IsSuspected(1) {
+		t.Fatal("not suspected")
+	}
+	d.Heartbeat(1) // came back
+	if d.IsSuspected(1) {
+		t.Fatal("heartbeat did not rehabilitate")
+	}
+	fc.advance(20 * time.Millisecond)
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("re-suspect after rehabilitation failed: %v", s)
+	}
+}
+
+func TestUnknownReplicaNotSuspected(t *testing.T) {
+	d := New(time.Millisecond, (&fakeClock{t: time.Unix(1000, 0)}).now)
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects without heartbeats: %v", s)
+	}
+	if d.IsSuspected(7) {
+		t.Error("unknown replica suspected")
+	}
+}
+
+func TestConcurrentHeartbeats(t *testing.T) {
+	d := New(time.Hour, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Heartbeat(1)
+				d.Suspects()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.IsSuspected(1) {
+		t.Error("live replica suspected")
+	}
+}

@@ -1,0 +1,233 @@
+// Package kvstore is the replicated in-memory key-value store used by
+// the paper's evaluation (Section VI-A): clients send update commands
+// that the replication protocols order and execute identically at every
+// replica.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"clockrsm/internal/rsm"
+)
+
+// Op is a key-value operation code.
+type Op byte
+
+// Operations.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpDelete
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// ErrBadCommand is returned when a command payload cannot be parsed.
+var ErrBadCommand = errors.New("kvstore: malformed command")
+
+// Command is a decoded key-value command.
+type Command struct {
+	Op    Op
+	Key   string
+	Value []byte
+}
+
+// Encode serializes the command as a state-machine payload:
+// op(1) | keyLen(2) | key | value.
+func (c Command) Encode() []byte {
+	b := make([]byte, 0, 3+len(c.Key)+len(c.Value))
+	b = append(b, byte(c.Op))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Key)))
+	b = append(b, c.Key...)
+	return append(b, c.Value...)
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(b []byte) (Command, error) {
+	if len(b) < 3 {
+		return Command{}, ErrBadCommand
+	}
+	op := Op(b[0])
+	if op != OpPut && op != OpGet && op != OpDelete {
+		return Command{}, fmt.Errorf("%w: bad op %d", ErrBadCommand, b[0])
+	}
+	kl := int(binary.LittleEndian.Uint16(b[1:3]))
+	if len(b) < 3+kl {
+		return Command{}, fmt.Errorf("%w: short key", ErrBadCommand)
+	}
+	c := Command{Op: op, Key: string(b[3 : 3+kl])}
+	if rest := b[3+kl:]; len(rest) > 0 {
+		c.Value = append([]byte(nil), rest...)
+	}
+	return c, nil
+}
+
+// Put builds an encoded PUT command.
+func Put(key string, value []byte) []byte {
+	return Command{Op: OpPut, Key: key, Value: value}.Encode()
+}
+
+// Get builds an encoded GET command. Reads go through the replication
+// protocol too, giving linearizable reads (Section II-B).
+func Get(key string) []byte {
+	return Command{Op: OpGet, Key: key}.Encode()
+}
+
+// Delete builds an encoded DELETE command.
+func Delete(key string) []byte {
+	return Command{Op: OpDelete, Key: key}.Encode()
+}
+
+// Store is the deterministic key-value state machine. Apply is invoked
+// serially by the replication layer; the mutex guards concurrent local
+// inspection (Len, Snapshot) against the applying goroutine.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+
+	applied uint64
+}
+
+var _ rsm.StateMachine = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Apply implements rsm.StateMachine. Malformed commands execute as
+// deterministic no-ops returning nil (every replica rejects them
+// identically).
+func (s *Store) Apply(payload []byte) []byte {
+	cmd, err := Decode(payload)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied++
+	switch cmd.Op {
+	case OpPut:
+		prev := s.data[cmd.Key]
+		s.data[cmd.Key] = cmd.Value
+		return prev
+	case OpGet:
+		return s.data[cmd.Key]
+	case OpDelete:
+		prev := s.data[cmd.Key]
+		delete(s.data, cmd.Key)
+		return prev
+	}
+	return nil
+}
+
+// Lookup reads a key directly from local state, bypassing replication
+// (not linearizable; used by tests and monitoring).
+func (s *Store) Lookup(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Applied returns the number of commands applied.
+func (s *Store) Applied() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Snapshot implements rsm.Snapshotter: it serializes the full key-value
+// state deterministically (keys sorted).
+func (s *Store) Snapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := make([]byte, 0, 16+32*len(keys))
+	b = binary.LittleEndian.AppendUint64(b, s.applied)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(keys)))
+	for _, k := range keys {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(k)))
+		b = append(b, k...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.data[k])))
+		b = append(b, s.data[k]...)
+	}
+	return b
+}
+
+// Restore implements rsm.Snapshotter.
+func (s *Store) Restore(state []byte) error {
+	if len(state) < 12 {
+		return fmt.Errorf("kvstore: short snapshot")
+	}
+	applied := binary.LittleEndian.Uint64(state)
+	n := binary.LittleEndian.Uint32(state[8:])
+	state = state[12:]
+	data := make(map[string][]byte, n)
+	for i := uint32(0); i < n; i++ {
+		if len(state) < 4 {
+			return fmt.Errorf("kvstore: truncated snapshot key")
+		}
+		kl := binary.LittleEndian.Uint32(state)
+		state = state[4:]
+		if uint64(len(state)) < uint64(kl)+4 {
+			return fmt.Errorf("kvstore: truncated snapshot key body")
+		}
+		k := string(state[:kl])
+		state = state[kl:]
+		vl := binary.LittleEndian.Uint32(state)
+		state = state[4:]
+		if uint64(len(state)) < uint64(vl) {
+			return fmt.Errorf("kvstore: truncated snapshot value")
+		}
+		data[k] = append([]byte(nil), state[:vl]...)
+		state = state[vl:]
+	}
+	if len(state) != 0 {
+		return fmt.Errorf("kvstore: trailing snapshot bytes")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = data
+	s.applied = applied
+	return nil
+}
+
+// SnapshotMap returns a deep copy of the state, for divergence checks in
+// tests.
+func (s *Store) SnapshotMap() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.data))
+	for k, v := range s.data {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cmds := []Command{
+		{Op: OpPut, Key: "k", Value: []byte("v")},
+		{Op: OpGet, Key: "some/longer/key"},
+		{Op: OpDelete, Key: ""},
+		{Op: OpPut, Key: "empty-value", Value: nil},
+	}
+	for _, c := range cmds {
+		got, err := Decode(c.Encode())
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", c, err)
+		}
+		if got.Op != c.Op || got.Key != c.Key || !bytes.Equal(got.Value, c.Value) {
+			t.Errorf("round trip: sent %+v got %+v", c, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{byte(OpPut)},
+		{99, 0, 0},          // unknown op
+		{byte(OpGet), 5, 0}, // key length beyond payload
+	}
+	for _, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("Decode(%v) succeeded", b)
+		}
+	}
+}
+
+func TestDecodeArbitraryNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if out := s.Apply(Put("a", []byte("1"))); out != nil {
+		t.Errorf("first PUT returned %q", out)
+	}
+	if out := s.Apply(Get("a")); string(out) != "1" {
+		t.Errorf("GET = %q, want 1", out)
+	}
+	if out := s.Apply(Put("a", []byte("2"))); string(out) != "1" {
+		t.Errorf("second PUT returned %q, want previous value 1", out)
+	}
+	if out := s.Apply(Delete("a")); string(out) != "2" {
+		t.Errorf("DELETE returned %q, want 2", out)
+	}
+	if out := s.Apply(Get("a")); out != nil {
+		t.Errorf("GET after DELETE = %q", out)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Applied() != 5 {
+		t.Errorf("Applied = %d", s.Applied())
+	}
+}
+
+func TestMalformedCommandIsDeterministicNoop(t *testing.T) {
+	a, b := New(), New()
+	junk := []byte{0xFF, 0x01}
+	if out := a.Apply(junk); out != nil {
+		t.Errorf("junk returned %q", out)
+	}
+	b.Apply(junk)
+	if !reflect.DeepEqual(a.SnapshotMap(), b.SnapshotMap()) {
+		t.Error("junk diverged state")
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Two stores applying the same command sequence end identical.
+	f := func(keys []string, vals [][]byte) bool {
+		a, b := New(), New()
+		for i, k := range keys {
+			var payload []byte
+			switch i % 3 {
+			case 0:
+				var v []byte
+				if i < len(vals) {
+					v = vals[i]
+				}
+				payload = Put(k, v)
+			case 1:
+				payload = Get(k)
+			default:
+				payload = Delete(k)
+			}
+			ra := a.Apply(payload)
+			rb := b.Apply(payload)
+			if !bytes.Equal(ra, rb) {
+				return false
+			}
+		}
+		return reflect.DeepEqual(a.SnapshotMap(), b.SnapshotMap())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupAndSnapshotAreCopies(t *testing.T) {
+	s := New()
+	s.Apply(Put("k", []byte("v")))
+	v, ok := s.Lookup("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Lookup = %q, %v", v, ok)
+	}
+	snap := s.SnapshotMap()
+	snap["k"][0] = 'x'
+	if v, _ := s.Lookup("k"); string(v) != "v" {
+		t.Error("SnapshotMap aliases store state")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpPut.String() != "PUT" || OpGet.String() != "GET" || OpDelete.String() != "DELETE" {
+		t.Error("op names wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Error("unknown op name wrong")
+	}
+}

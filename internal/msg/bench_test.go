@@ -1,0 +1,70 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+
+	"clockrsm/internal/types"
+)
+
+func benchPrepare(size int) *Prepare {
+	return &Prepare{
+		Epoch: 1,
+		TS:    types.Timestamp{Wall: 123456789012, Node: 3},
+		Cmd: types.Command{
+			ID:      types.CommandID{Origin: 3, Seq: 42},
+			Payload: make([]byte, size),
+		},
+	}
+}
+
+func BenchmarkEncodePrepare(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			m := benchPrepare(size)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Encode(m)
+			}
+		})
+	}
+}
+
+func BenchmarkDecodePrepare(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			wire := Encode(benchPrepare(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodePrepareOK(b *testing.B) {
+	m := &PrepareOK{Epoch: 1, TS: types.Timestamp{Wall: 99, Node: 2}, ClockTS: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkRoundTripRetrieveReply(b *testing.B) {
+	cmds := make([]TimestampedCommand, 64)
+	for i := range cmds {
+		cmds[i] = TimestampedCommand{
+			TS:  types.Timestamp{Wall: int64(i), Node: types.ReplicaID(i % 5)},
+			Cmd: types.Command{ID: types.CommandID{Origin: 0, Seq: uint64(i)}, Payload: make([]byte, 64)},
+		}
+	}
+	m := &RetrieveReply{Seq: 1, Cmds: cmds}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(Encode(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package msg defines the wire messages of every replication protocol in
+// this repository (Clock-RSM, Multi-Paxos, Mencius, the reconfiguration
+// protocol and its consensus primitive) together with a compact binary
+// codec used by the TCP transport. The in-process transports pass Message
+// values directly and never serialize.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"clockrsm/internal/types"
+)
+
+// Type discriminates the concrete message kind on the wire.
+type Type uint8
+
+// Wire message types.
+const (
+	// Clock-RSM (Algorithm 1 and 2).
+	TPrepare Type = iota + 1
+	TPrepareOK
+	TClockTime
+	// Multi-Paxos / Paxos-bcast.
+	TForward
+	TAccept
+	TAccepted
+	TCommit
+	// Mencius / Mencius-bcast.
+	TMAccept
+	TMAccepted
+	TMCommit
+	// Reconfiguration (Algorithm 3).
+	TSuspend
+	TSuspendOK
+	TRetrieveCmds
+	TRetrieveReply
+	// Single-decree Paxos consensus primitive.
+	TP1a
+	TP1b
+	TP2a
+	TP2b
+	TLearn
+	maxType
+)
+
+var typeNames = map[Type]string{
+	TPrepare: "PREPARE", TPrepareOK: "PREPAREOK", TClockTime: "CLOCKTIME",
+	TForward: "FORWARD", TAccept: "ACCEPT", TAccepted: "ACCEPTED", TCommit: "COMMIT",
+	TMAccept: "MACCEPT", TMAccepted: "MACCEPTED", TMCommit: "MCOMMIT",
+	TSuspend: "SUSPEND", TSuspendOK: "SUSPENDOK",
+	TRetrieveCmds: "RETRIEVECMDS", TRetrieveReply: "RETRIEVEREPLY",
+	TP1a: "P1A", TP1b: "P1B", TP2a: "P2A", TP2b: "P2B", TLearn: "LEARN",
+}
+
+// String returns the paper's message name.
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Type identifies the concrete message kind.
+	Type() Type
+	// appendTo serializes the message body (without the type byte).
+	appendTo(b []byte) []byte
+	// decode parses the message body, returning the remaining bytes.
+	decode(b []byte) ([]byte, error)
+}
+
+// Errors surfaced by the codec.
+var (
+	ErrTruncated   = errors.New("msg: truncated message")
+	ErrUnknownType = errors.New("msg: unknown message type")
+	ErrTrailing    = errors.New("msg: trailing bytes after message")
+)
+
+// Encode serializes m as [type byte | body].
+func Encode(m Message) []byte {
+	b := make([]byte, 1, 64)
+	b[0] = byte(m.Type())
+	return m.appendTo(b)
+}
+
+// Decode parses a message produced by Encode. It rejects trailing bytes.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	m, err := newMessage(Type(b[0]))
+	if err != nil {
+		return nil, err
+	}
+	rest, err := m.decode(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+// newMessage allocates an empty message of the given type.
+func newMessage(t Type) (Message, error) {
+	switch t {
+	case TPrepare:
+		return &Prepare{}, nil
+	case TPrepareOK:
+		return &PrepareOK{}, nil
+	case TClockTime:
+		return &ClockTime{}, nil
+	case TForward:
+		return &Forward{}, nil
+	case TAccept:
+		return &Accept{}, nil
+	case TAccepted:
+		return &Accepted{}, nil
+	case TCommit:
+		return &Commit{}, nil
+	case TMAccept:
+		return &MAccept{}, nil
+	case TMAccepted:
+		return &MAccepted{}, nil
+	case TMCommit:
+		return &MCommit{}, nil
+	case TSuspend:
+		return &Suspend{}, nil
+	case TSuspendOK:
+		return &SuspendOK{}, nil
+	case TRetrieveCmds:
+		return &RetrieveCmds{}, nil
+	case TRetrieveReply:
+		return &RetrieveReply{}, nil
+	case TP1a:
+		return &P1a{}, nil
+	case TP1b:
+		return &P1b{}, nil
+	case TP2a:
+		return &P2a{}, nil
+	case TP2b:
+		return &P2b{}, nil
+	case TLearn:
+		return &Learn{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+}
+
+// --- primitive encoding helpers (little-endian, fixed width) ---
+
+func putU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func putI64(b []byte, v int64) []byte {
+	return putU64(b, uint64(v))
+}
+
+func putU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func putBytes(b, p []byte) []byte {
+	if len(p) > math.MaxUint32 {
+		// Commands are client payloads capped far below 4 GiB in practice;
+		// truncating here would corrupt state, so refuse at encode time.
+		panic("msg: payload exceeds 4GiB")
+	}
+	b = putU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func putTS(b []byte, ts types.Timestamp) []byte {
+	b = putI64(b, ts.Wall)
+	return putU32(b, uint32(int32(ts.Node)))
+}
+
+func putCmd(b []byte, c types.Command) []byte {
+	b = putU32(b, uint32(int32(c.ID.Origin)))
+	b = putU64(b, c.ID.Seq)
+	return putBytes(b, c.Payload)
+}
+
+func getU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+func getI64(b []byte) (int64, []byte, error) {
+	v, rest, err := getU64(b)
+	return int64(v), rest, err
+}
+
+func getU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func getBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := getU32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) < uint64(n) {
+		return nil, nil, ErrTruncated
+	}
+	p := make([]byte, n)
+	copy(p, b[:n])
+	return p, b[n:], nil
+}
+
+func getTS(b []byte) (types.Timestamp, []byte, error) {
+	wall, b, err := getI64(b)
+	if err != nil {
+		return types.Timestamp{}, nil, err
+	}
+	node, b, err := getU32(b)
+	if err != nil {
+		return types.Timestamp{}, nil, err
+	}
+	return types.Timestamp{Wall: wall, Node: types.ReplicaID(int32(node))}, b, nil
+}
+
+func getCmd(b []byte) (types.Command, []byte, error) {
+	origin, b, err := getU32(b)
+	if err != nil {
+		return types.Command{}, nil, err
+	}
+	seq, b, err := getU64(b)
+	if err != nil {
+		return types.Command{}, nil, err
+	}
+	payload, b, err := getBytes(b)
+	if err != nil {
+		return types.Command{}, nil, err
+	}
+	return types.Command{
+		ID:      types.CommandID{Origin: types.ReplicaID(int32(origin)), Seq: seq},
+		Payload: payload,
+	}, b, nil
+}

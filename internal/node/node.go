@@ -1,0 +1,171 @@
+// Package node is the real runtime for replicas: it wraps a protocol
+// instance in a single-goroutine event loop, so the protocol code (which
+// is written lock-free against rsm.Env) runs identically to the
+// simulator but over real transports and the real clock.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"clockrsm/internal/clock"
+	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// Options configure a Node.
+type Options struct {
+	// Clock is the physical clock source; nil uses a monotonic wrapper
+	// over the system clock (the paper's clock_gettime setup).
+	Clock clock.Clock
+	// Log is the stable log; nil uses an in-memory log (the paper's
+	// throughput configuration).
+	Log storage.Log
+	// QueueLen is the event queue capacity (default 8192).
+	QueueLen int
+}
+
+// Node hosts one replica: transport in, protocol logic on the loop
+// goroutine, transport out.
+type Node struct {
+	id    types.ReplicaID
+	spec  []types.ReplicaID
+	tr    transport.Transport
+	clk   clock.Clock
+	log   storage.Log
+	proto rsm.Protocol
+
+	events chan func()
+	quit   chan struct{}
+	done   chan struct{}
+}
+
+var _ rsm.Env = (*Node)(nil)
+
+// New creates a node for replica id over tr. spec lists all replicas.
+// The protocol is attached with SetProtocol before Start.
+func New(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, opts Options) *Node {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewMonotonic(clock.System{})
+	}
+	lg := opts.Log
+	if lg == nil {
+		lg = storage.NewMemLog()
+	}
+	qlen := opts.QueueLen
+	if qlen <= 0 {
+		qlen = 8192
+	}
+	n := &Node{
+		id:     id,
+		spec:   append([]types.ReplicaID(nil), spec...),
+		tr:     tr,
+		clk:    clk,
+		log:    lg,
+		events: make(chan func(), qlen),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
+		n.enqueue(func() { n.proto.Deliver(from, m) })
+	})
+	return n
+}
+
+// ID implements rsm.Env.
+func (n *Node) ID() types.ReplicaID { return n.id }
+
+// Spec implements rsm.Env.
+func (n *Node) Spec() []types.ReplicaID { return n.spec }
+
+// Clock implements rsm.Env.
+func (n *Node) Clock() int64 { return n.clk.Now() }
+
+// Send implements rsm.Env.
+func (n *Node) Send(to types.ReplicaID, m msg.Message) { n.tr.Send(to, m) }
+
+// After implements rsm.Env: the callback runs on the event loop.
+func (n *Node) After(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() { n.enqueue(fn) })
+}
+
+// Log implements rsm.Env.
+func (n *Node) Log() storage.Log { return n.log }
+
+// SetProtocol binds the protocol instance. Must precede Start.
+func (n *Node) SetProtocol(p rsm.Protocol) { n.proto = p }
+
+// Protocol returns the bound protocol.
+func (n *Node) Protocol() rsm.Protocol { return n.proto }
+
+// enqueue schedules fn on the loop, dropping it if the node stopped.
+func (n *Node) enqueue(fn func()) {
+	select {
+	case n.events <- fn:
+	case <-n.quit:
+	}
+}
+
+// Start launches the event loop and the transport, then starts the
+// protocol on the loop.
+func (n *Node) Start() error {
+	if n.proto == nil {
+		return fmt.Errorf("node %v has no protocol", n.id)
+	}
+	go n.run()
+	if err := n.tr.Start(); err != nil {
+		close(n.quit)
+		<-n.done
+		return err
+	}
+	n.enqueue(n.proto.Start)
+	return nil
+}
+
+// run is the event loop.
+func (n *Node) run() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case fn := <-n.events:
+			fn()
+		}
+	}
+}
+
+// Submit hands a client command to the protocol, from any goroutine.
+func (n *Node) Submit(cmd types.Command) {
+	n.enqueue(func() { n.proto.Submit(cmd) })
+}
+
+// Do runs fn on the event loop and waits for it — the safe way to read
+// protocol state from outside.
+func (n *Node) Do(fn func()) {
+	done := make(chan struct{})
+	n.enqueue(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-n.quit:
+	}
+}
+
+// Stop terminates the event loop and closes the transport.
+func (n *Node) Stop() {
+	select {
+	case <-n.quit:
+		return // already stopped
+	default:
+	}
+	close(n.quit)
+	<-n.done
+	n.tr.Close()
+}

@@ -1,0 +1,255 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/mencius"
+	"clockrsm/internal/paxos"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// cluster wires n nodes over an in-process hub running the given
+// protocol constructor.
+type cluster struct {
+	hub    *transport.Hub
+	nodes  []*Node
+	stores []*kvstore.Store
+	orders [][]types.CommandID
+	mu     sync.Mutex
+
+	replyMu sync.Mutex
+	replies map[types.CommandID]chan []byte
+}
+
+func newCluster(t *testing.T, n int, lat *wan.Matrix,
+	mk func(env rsm.Env, app *rsm.App) rsm.Protocol) *cluster {
+	t.Helper()
+	c := &cluster{
+		hub:     transport.NewHub(n, transport.HubOptions{Latency: lat}),
+		replies: make(map[types.CommandID]chan []byte),
+		orders:  make([][]types.CommandID, n),
+	}
+	spec := make([]types.ReplicaID, n)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		store := kvstore.New()
+		c.stores = append(c.stores, store)
+		nd := New(types.ReplicaID(i), spec, c.hub.Endpoint(types.ReplicaID(i)), Options{})
+		app := &rsm.App{
+			SM: store,
+			OnCommit: func(ts types.Timestamp, cmd types.Command) {
+				c.mu.Lock()
+				c.orders[i] = append(c.orders[i], cmd.ID)
+				c.mu.Unlock()
+			},
+			OnReply: func(res types.Result) {
+				c.replyMu.Lock()
+				ch := c.replies[res.ID]
+				c.replyMu.Unlock()
+				if ch != nil {
+					ch <- res.Value
+				}
+			},
+		}
+		nd.SetProtocol(mk(nd, app))
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.Stop()
+		}
+		c.hub.Close()
+	})
+	return c
+}
+
+// call submits a command at a replica and waits for its reply.
+func (c *cluster) call(t *testing.T, at types.ReplicaID, cid types.CommandID, payload []byte) []byte {
+	t.Helper()
+	ch := make(chan []byte, 1)
+	c.replyMu.Lock()
+	c.replies[cid] = ch
+	c.replyMu.Unlock()
+	c.nodes[at].Submit(types.Command{ID: cid, Payload: payload})
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timeout waiting for reply to %v", cid)
+		return nil
+	}
+}
+
+func protoMakers() map[string]func(env rsm.Env, app *rsm.App) rsm.Protocol {
+	return map[string]func(env rsm.Env, app *rsm.App) rsm.Protocol{
+		"clockrsm": func(env rsm.Env, app *rsm.App) rsm.Protocol {
+			return core.New(env, app, core.Options{ClockTimeInterval: 5 * time.Millisecond})
+		},
+		"paxos-bcast": func(env rsm.Env, app *rsm.App) rsm.Protocol {
+			return paxos.New(env, app, paxos.Options{Leader: 0, Broadcast: true})
+		},
+		"mencius-bcast": func(env rsm.Env, app *rsm.App) rsm.Protocol {
+			return mencius.New(env, app)
+		},
+	}
+}
+
+func TestKVOverRealRuntime(t *testing.T) {
+	lat := wan.Uniform(3, 2*time.Millisecond)
+	for name, mk := range protoMakers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			c := newCluster(t, 3, lat, mk)
+			seq := uint64(0)
+			id := func(origin types.ReplicaID) types.CommandID {
+				seq++
+				return types.CommandID{Origin: origin, Seq: seq}
+			}
+			c.call(t, 0, id(0), kvstore.Put("x", []byte("1")))
+			if v := c.call(t, 1, id(1), kvstore.Get("x")); string(v) != "1" {
+				t.Fatalf("GET x = %q, want 1", v)
+			}
+			if v := c.call(t, 2, id(2), kvstore.Put("x", []byte("2"))); string(v) != "1" {
+				t.Fatalf("PUT returned %q, want previous 1", v)
+			}
+			if v := c.call(t, 0, id(0), kvstore.Get("x")); string(v) != "2" {
+				t.Fatalf("GET x = %q, want 2", v)
+			}
+		})
+	}
+}
+
+func TestConcurrentClientsTotalOrder(t *testing.T) {
+	lat := wan.Uniform(3, time.Millisecond)
+	for name, mk := range protoMakers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			c := newCluster(t, 3, lat, mk)
+			const perReplica = 30
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				for k := 0; k < 3; k++ { // 3 clients per replica
+					wg.Add(1)
+					go func(rep, cli int) {
+						defer wg.Done()
+						for n := 0; n < perReplica/3; n++ {
+							cid := types.CommandID{
+								Origin: types.ReplicaID(rep),
+								Seq:    uint64(cli*1000 + n + 1),
+							}
+							c.call(t, types.ReplicaID(rep), cid, kvstore.Put("k", []byte{byte(n)}))
+						}
+					}(i, k)
+				}
+			}
+			wg.Wait()
+			// Let trailing commits land everywhere.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				c.mu.Lock()
+				done := len(c.orders[0]) == 90 && len(c.orders[1]) == 90 && len(c.orders[2]) == 90
+				c.mu.Unlock()
+				if done {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			for i := 1; i < 3; i++ {
+				if len(c.orders[i]) != len(c.orders[0]) {
+					t.Fatalf("replica %d executed %d commands, replica 0 %d", i, len(c.orders[i]), len(c.orders[0]))
+				}
+				for j := range c.orders[i] {
+					if c.orders[i][j] != c.orders[0][j] {
+						t.Fatalf("%s: divergence at %d", name, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNodeOverTCP(t *testing.T) {
+	addrs := map[types.ReplicaID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+	spec := []types.ReplicaID{0, 1, 2}
+	// Bind listeners one at a time so each node knows the others' ports.
+	var eps []*transport.TCPEndpoint
+	var nodes []*Node
+	stores := make([]*kvstore.Store, 3)
+	replyCh := make(chan []byte, 1)
+	for i := 0; i < 3; i++ {
+		ep := transport.NewTCP(types.ReplicaID(i), addrs, transport.TCPOptions{DialRetry: 20 * time.Millisecond})
+		eps = append(eps, ep)
+		stores[i] = kvstore.New()
+		nd := New(types.ReplicaID(i), spec, ep, Options{})
+		app := &rsm.App{SM: stores[i]}
+		if i == 0 {
+			app.OnReply = func(res types.Result) { replyCh <- res.Value }
+		}
+		nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 5 * time.Millisecond}))
+		nodes = append(nodes, nd)
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		addrs[types.ReplicaID(i)] = ep.Addr()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	nodes[0].Submit(types.Command{
+		ID:      types.CommandID{Origin: 0, Seq: 1},
+		Payload: kvstore.Put("greeting", []byte("hello")),
+	})
+	select {
+	case <-replyCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no reply over TCP")
+	}
+	// Every store converges.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, s := range stores {
+			if v, _ := s.Lookup("greeting"); string(v) != "hello" {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("stores did not converge over TCP")
+}
+
+func TestNodeDoAndStopIdempotent(t *testing.T) {
+	c := newCluster(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"])
+	var epoch types.Epoch
+	c.nodes[0].Do(func() {
+		epoch = c.nodes[0].Protocol().(*core.Replica).Epoch()
+	})
+	if epoch != 0 {
+		t.Errorf("epoch = %d", epoch)
+	}
+	c.nodes[0].Stop()
+	c.nodes[0].Stop() // second Stop must not panic or hang
+}

@@ -1,0 +1,211 @@
+package paxos
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/sim"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+type harness struct {
+	t       *testing.T
+	c       *sim.Cluster
+	reps    []*Replica
+	orders  [][]types.CommandID
+	replies []map[types.CommandID]time.Duration
+	submits map[types.CommandID]time.Duration
+	seq     uint64
+}
+
+func newHarness(t *testing.T, lat *wan.Matrix, opts Options, copts sim.ClusterOptions) *harness {
+	t.Helper()
+	h := &harness{t: t, c: sim.NewCluster(lat, copts), submits: make(map[types.CommandID]time.Duration)}
+	n := lat.Size()
+	h.orders = make([][]types.CommandID, n)
+	h.replies = make([]map[types.CommandID]time.Duration, n)
+	for i, r := range h.c.Replicas {
+		i := i
+		h.replies[i] = make(map[types.CommandID]time.Duration)
+		app := &rsm.App{
+			SM: rsm.NopSM{},
+			OnCommit: func(ts types.Timestamp, cmd types.Command) {
+				h.orders[i] = append(h.orders[i], cmd.ID)
+			},
+			OnReply: func(res types.Result) { h.replies[i][res.ID] = h.c.Eng.Now() },
+		}
+		rep := New(r, app, opts)
+		h.reps = append(h.reps, rep)
+		r.SetProtocol(rep)
+	}
+	h.c.Start()
+	return h
+}
+
+func (h *harness) submitAt(id types.ReplicaID, at time.Duration) types.CommandID {
+	h.seq++
+	cid := types.CommandID{Origin: id, Seq: h.seq}
+	h.c.Eng.At(at, func() {
+		h.submits[cid] = h.c.Eng.Now()
+		h.reps[id].Submit(types.Command{ID: cid, Payload: []byte("cmd")})
+	})
+	return cid
+}
+
+func (h *harness) latency(cid types.CommandID) time.Duration {
+	rep, ok := h.replies[cid.Origin][cid]
+	if !ok {
+		h.t.Fatalf("no reply for %v", cid)
+	}
+	return rep - h.submits[cid]
+}
+
+func (h *harness) checkTotalOrder(want int) {
+	h.t.Helper()
+	for i := 1; i < len(h.orders); i++ {
+		if len(h.orders[i]) != len(h.orders[0]) {
+			h.t.Fatalf("replica %d executed %d, replica 0 executed %d", i, len(h.orders[i]), len(h.orders[0]))
+		}
+		for j := range h.orders[i] {
+			if h.orders[i][j] != h.orders[0][j] {
+				h.t.Fatalf("order divergence at %d", j)
+			}
+		}
+	}
+	if want >= 0 && len(h.orders[0]) != want {
+		h.t.Fatalf("executed %d commands, want %d", len(h.orders[0]), want)
+	}
+}
+
+// Asymmetric 5-replica matrix for latency checks: distances from the
+// leader r0: {0, 10, 20, 30, 40}; all other pairs 25ms.
+func asymMatrix() *wan.Matrix {
+	m := wan.NewMatrix(5)
+	for j := 1; j < 5; j++ {
+		m.Set(0, types.ReplicaID(j), ms(10*j))
+		for k := j + 1; k < 5; k++ {
+			m.Set(types.ReplicaID(j), types.ReplicaID(k), ms(25))
+		}
+	}
+	return m
+}
+
+func TestLeaderLatencyIsTwiceMedian(t *testing.T) {
+	// Both variants: leader commits after one round trip to a majority:
+	// 2 * median({0,10,20,30,40}) = 40ms.
+	for _, bcast := range []bool{false, true} {
+		h := newHarness(t, asymMatrix(), Options{Leader: 0, Broadcast: bcast}, sim.ClusterOptions{})
+		cid := h.submitAt(0, 0)
+		h.c.Eng.RunUntilIdle()
+		if got := h.latency(cid); got != ms(40) {
+			t.Errorf("bcast=%v: leader latency = %v, want 40ms", bcast, got)
+		}
+	}
+}
+
+func TestNonLeaderLatencyPlainPaxos(t *testing.T) {
+	// Table II non-leader: 2*d(i,l) + 2*median(d(l,*)).
+	// From r4 (40ms to leader): 80 + 40 = 120ms.
+	h := newHarness(t, asymMatrix(), Options{Leader: 0}, sim.ClusterOptions{})
+	cid := h.submitAt(4, 0)
+	h.c.Eng.RunUntilIdle()
+	if got := h.latency(cid); got != ms(120) {
+		t.Errorf("non-leader latency = %v, want 120ms", got)
+	}
+}
+
+func TestNonLeaderLatencyPaxosBcast(t *testing.T) {
+	// Section IV-B: d(i,l) + median({d(l,k)+d(k,i)}).
+	// i=r4: d=40. Two-hop l→k→i: k=0(leader):0+40=40, k=1:10+25=35,
+	// k=2:20+25=45, k=3:30+25=55, k=4:40+0=40. median{35,40,40,45,55}=40.
+	// Total 80ms vs 120ms for plain Paxos.
+	m := asymMatrix()
+	h := newHarness(t, m, Options{Leader: 0, Broadcast: true}, sim.ClusterOptions{})
+	cid := h.submitAt(4, 0)
+	h.c.Eng.RunUntilIdle()
+	want := m.OneWay(4, 0) + m.TwoHopMedian(0, 4)
+	if got := h.latency(cid); got != want {
+		t.Errorf("bcast non-leader latency = %v, want %v", got, want)
+	}
+	if want != ms(80) {
+		t.Errorf("analytic value = %v, expected 80ms", want)
+	}
+}
+
+func TestTotalOrderUnderConcurrency(t *testing.T) {
+	for _, bcast := range []bool{false, true} {
+		h := newHarness(t, wan.EC2Matrix([]wan.Site{wan.CA, wan.VA, wan.IR, wan.JP, wan.SG}),
+			Options{Leader: 1, Broadcast: bcast}, sim.ClusterOptions{Jitter: ms(2), Seed: 5})
+		total := 0
+		for i := 0; i < 5; i++ {
+			for k := 0; k < 20; k++ {
+				h.submitAt(types.ReplicaID(i), time.Duration(k*13+i*3)*time.Millisecond)
+				total++
+			}
+		}
+		h.c.Eng.RunUntil(30 * time.Second)
+		h.checkTotalOrder(total)
+	}
+}
+
+func TestRepliesReachEveryOrigin(t *testing.T) {
+	h := newHarness(t, wan.Uniform(3, ms(20)), Options{Leader: 0, Broadcast: true}, sim.ClusterOptions{})
+	cids := []types.CommandID{h.submitAt(0, 0), h.submitAt(1, ms(1)), h.submitAt(2, ms(2))}
+	h.c.Eng.RunUntilIdle()
+	for _, cid := range cids {
+		if _, ok := h.replies[cid.Origin][cid]; !ok {
+			t.Errorf("no reply for %v at its origin", cid)
+		}
+	}
+	h.checkTotalOrder(3)
+}
+
+func TestLeaderOrdersForwardedCommands(t *testing.T) {
+	// Two commands forwarded from different replicas execute in arrival
+	// order at the leader, identically everywhere.
+	h := newHarness(t, asymMatrix(), Options{Leader: 0}, sim.ClusterOptions{})
+	a := h.submitAt(1, 0)     // arrives at leader at 10ms
+	b := h.submitAt(4, 0)     // arrives at leader at 40ms
+	c := h.submitAt(0, ms(5)) // leader-local at 5ms
+	h.c.Eng.RunUntilIdle()
+	h.checkTotalOrder(3)
+	want := []types.CommandID{c, a, b}
+	for j, cid := range want {
+		if h.orders[0][j] != cid {
+			t.Fatalf("slot %d = %v, want %v (order %v)", j, h.orders[0][j], cid, h.orders[0])
+		}
+	}
+}
+
+func TestFollowerExecutionLagsPlainPaxos(t *testing.T) {
+	// In plain Paxos a follower learns commits only from the leader's
+	// Commit message; with broadcast it self-counts 2b and commits
+	// earlier. Verify the non-origin follower r1 executes in both modes.
+	for _, bcast := range []bool{false, true} {
+		h := newHarness(t, asymMatrix(), Options{Leader: 0, Broadcast: bcast}, sim.ClusterOptions{})
+		h.submitAt(0, 0)
+		h.c.Eng.RunUntilIdle()
+		if len(h.orders[1]) != 1 {
+			t.Errorf("bcast=%v: follower did not execute", bcast)
+		}
+	}
+}
+
+func TestDuplicateAcceptedIgnored(t *testing.T) {
+	h := newHarness(t, wan.Uniform(3, ms(10)), Options{Leader: 0, Broadcast: true}, sim.ClusterOptions{})
+	h.submitAt(0, 0)
+	h.c.Eng.RunUntilIdle()
+	before := h.reps[2].Committed()
+	// Replay a stale Accepted and a stale-ballot Accept by hand; commit
+	// count must not move.
+	h.reps[2].Deliver(1, &msg.Accepted{Ballot: stableBallot, Slot: 0})
+	h.reps[2].Deliver(1, &msg.Accept{Ballot: 99, Slot: 7, Cmd: types.Command{}})
+	if h.reps[2].Committed() != before {
+		t.Error("stale messages changed commit count")
+	}
+}

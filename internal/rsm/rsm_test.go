@@ -1,0 +1,114 @@
+package rsm
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
+)
+
+// fakeEnv records sends for Broadcast tests.
+type fakeEnv struct {
+	id   types.ReplicaID
+	sent []types.ReplicaID
+}
+
+func (f *fakeEnv) ID() types.ReplicaID                    { return f.id }
+func (f *fakeEnv) Spec() []types.ReplicaID                { return []types.ReplicaID{0, 1, 2} }
+func (f *fakeEnv) Clock() int64                           { return 0 }
+func (f *fakeEnv) Send(to types.ReplicaID, m msg.Message) { f.sent = append(f.sent, to) }
+func (f *fakeEnv) After(d time.Duration, fn func())       {}
+func (f *fakeEnv) Log() storage.Log                       { return storage.NewMemLog() }
+
+var _ Env = (*fakeEnv)(nil)
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	env := &fakeEnv{id: 1}
+	Broadcast(env, []types.ReplicaID{0, 1, 2}, &msg.Commit{Slot: 1})
+	if len(env.sent) != 2 || env.sent[0] != 0 || env.sent[1] != 2 {
+		t.Errorf("Broadcast sent to %v, want [r0 r2]", env.sent)
+	}
+}
+
+// recordingSM tracks applied payloads and implements Snapshotter.
+type recordingSM struct {
+	applied [][]byte
+	state   []byte
+}
+
+func (r *recordingSM) Apply(cmd []byte) []byte {
+	r.applied = append(r.applied, cmd)
+	return append([]byte("out:"), cmd...)
+}
+
+func (r *recordingSM) Snapshot() []byte       { return r.state }
+func (r *recordingSM) Restore(s []byte) error { r.state = s; return nil }
+
+func TestAppExecuteRoutesReplies(t *testing.T) {
+	var replies []types.Result
+	var commits []types.CommandID
+	app := &App{
+		SM:       &recordingSM{},
+		OnReply:  func(res types.Result) { replies = append(replies, res) },
+		OnCommit: func(ts types.Timestamp, cmd types.Command) { commits = append(commits, cmd.ID) },
+	}
+	own := types.Command{ID: types.CommandID{Origin: 1, Seq: 1}, Payload: []byte("a")}
+	foreign := types.Command{ID: types.CommandID{Origin: 2, Seq: 1}, Payload: []byte("b")}
+
+	app.Execute(1, types.Timestamp{Wall: 1}, own)
+	app.Execute(1, types.Timestamp{Wall: 2}, foreign)
+
+	if app.Applied() != 2 {
+		t.Errorf("Applied = %d", app.Applied())
+	}
+	if len(commits) != 2 {
+		t.Errorf("OnCommit fired %d times", len(commits))
+	}
+	if len(replies) != 1 || replies[0].ID != own.ID {
+		t.Errorf("replies = %+v, want only the own command", replies)
+	}
+	if string(replies[0].Value) != "out:a" {
+		t.Errorf("reply value = %q", replies[0].Value)
+	}
+}
+
+func TestAppExecuteNilCallbacks(t *testing.T) {
+	app := &App{SM: NopSM{}}
+	// Must not panic without OnReply/OnCommit.
+	app.Execute(0, types.Timestamp{}, types.Command{ID: types.CommandID{Origin: 0, Seq: 1}})
+	if app.Applied() != 1 {
+		t.Errorf("Applied = %d", app.Applied())
+	}
+}
+
+func TestTrySnapshotAndRestore(t *testing.T) {
+	withSnap := &App{SM: &recordingSM{state: []byte("s0")}}
+	state, ok := withSnap.TrySnapshot()
+	if !ok || string(state) != "s0" {
+		t.Errorf("TrySnapshot = %q, %v", state, ok)
+	}
+	restored, err := withSnap.TryRestore([]byte("s1"))
+	if err != nil || !restored {
+		t.Errorf("TryRestore = %v, %v", restored, err)
+	}
+	if s, _ := withSnap.TrySnapshot(); string(s) != "s1" {
+		t.Errorf("state after restore = %q", s)
+	}
+
+	withoutSnap := &App{SM: NopSM{}}
+	if _, ok := withoutSnap.TrySnapshot(); ok {
+		t.Error("NopSM reported a snapshot")
+	}
+	restored, err = withoutSnap.TryRestore([]byte("x"))
+	if err != nil || restored {
+		t.Errorf("TryRestore on non-snapshotter = %v, %v", restored, err)
+	}
+}
+
+func TestNopSM(t *testing.T) {
+	if out := (NopSM{}).Apply([]byte("anything")); out != nil {
+		t.Errorf("NopSM returned %q", out)
+	}
+}

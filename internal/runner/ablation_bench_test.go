@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLeaderBottleneckCrossover is the ablation behind Figure 8's
+// large-command result: it sweeps command sizes until the Paxos leader
+// (which forwards, serializes and broadcasts every command) becomes the
+// bottleneck and the multi-leader protocols overtake it. With our Go
+// binary codec the crossover sits near 16-64 KB; the paper's 2014
+// C++/protobuf stack paid more CPU per byte, placing it at 1 KB.
+func BenchmarkLeaderBottleneckCrossover(b *testing.B) {
+	for _, size := range []int{4000, 16000, 64000} {
+		for _, p := range []Protocol{Paxos, MenciusBcast, ClockRSM} {
+			b.Run(string(p)+"/"+sizeStr(size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := RunThroughput(ThroughputConfig{
+						Protocol: p, PayloadSize: size,
+						Warmup: 100 * time.Millisecond, Duration: 500 * time.Millisecond,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.OpsPerSec, "ops/s")
+				}
+			})
+		}
+	}
+}
+
+func sizeStr(n int) string {
+	switch n {
+	case 4000:
+		return "4KB"
+	case 16000:
+		return "16KB"
+	default:
+		return "64KB"
+	}
+}

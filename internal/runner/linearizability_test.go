@@ -1,0 +1,227 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/sim"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// linHarness checks linearizability (Section II-B, Claim 5) of the
+// replicated KV store under every protocol: there must exist a
+// permutation of the client history that (1) respects each command's
+// sequential semantics and (2) respects real-time order. Because the
+// protocols produce an explicit total execution order, we verify that
+// THAT order is such a permutation: replies must match a sequential
+// replay of the execution order, and a command submitted after another's
+// reply must execute after it.
+type linHarness struct {
+	t        *testing.T
+	c        *sim.Cluster
+	protos   []rsm.Protocol
+	order    []types.CommandID // execution order observed at replica 0
+	orders   [][]types.CommandID
+	payloads map[types.CommandID][]byte
+	submits  map[types.CommandID]time.Duration
+	replies  map[types.CommandID]time.Duration
+	results  map[types.CommandID][]byte
+	seq      uint64
+}
+
+func newLinHarness(t *testing.T, p Protocol, sites []wan.Site, seed int64) *linHarness {
+	t.Helper()
+	h := &linHarness{
+		t:        t,
+		c:        sim.NewCluster(wan.EC2Matrix(sites), sim.ClusterOptions{Seed: seed, Jitter: 2 * time.Millisecond}),
+		payloads: make(map[types.CommandID][]byte),
+		submits:  make(map[types.CommandID]time.Duration),
+		replies:  make(map[types.CommandID]time.Duration),
+		results:  make(map[types.CommandID][]byte),
+		orders:   make([][]types.CommandID, len(sites)),
+	}
+	for i := range sites {
+		i := i
+		app := &rsm.App{
+			SM: kvstore.New(),
+			OnCommit: func(ts types.Timestamp, cmd types.Command) {
+				h.orders[i] = append(h.orders[i], cmd.ID)
+				if i == 0 {
+					h.order = append(h.order, cmd.ID)
+				}
+			},
+			OnReply: func(res types.Result) {
+				h.replies[res.ID] = h.c.Eng.Now()
+				h.results[res.ID] = res.Value
+			},
+		}
+		proto, err := newProtocol(p, h.c.Replicas[i], app, 0, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.protos = append(h.protos, proto)
+		h.c.Replicas[i].SetProtocol(proto)
+	}
+	h.c.Start()
+	return h
+}
+
+// submitAt schedules one random KV command.
+func (h *linHarness) submitAt(rng *rand.Rand, at types.ReplicaID, when time.Duration) {
+	h.seq++
+	cid := types.CommandID{Origin: at, Seq: h.seq}
+	key := fmt.Sprintf("k%d", rng.Intn(4)) // few keys: maximal contention
+	var payload []byte
+	switch rng.Intn(3) {
+	case 0:
+		payload = kvstore.Put(key, []byte(fmt.Sprintf("v-%d", h.seq)))
+	case 1:
+		payload = kvstore.Get(key)
+	default:
+		payload = kvstore.Delete(key)
+	}
+	h.payloads[cid] = payload
+	h.c.Eng.At(when, func() {
+		h.submits[cid] = h.c.Eng.Now()
+		h.protos[at].Submit(types.Command{ID: cid, Payload: payload})
+	})
+}
+
+// verify checks agreement, semantic correctness and real-time order.
+func (h *linHarness) verify(total int) {
+	h.t.Helper()
+	// 1. Agreement: identical execution order everywhere.
+	for i := 1; i < len(h.orders); i++ {
+		if len(h.orders[i]) != len(h.orders[0]) {
+			h.t.Fatalf("replica %d executed %d commands, replica 0 executed %d", i, len(h.orders[i]), len(h.orders[0]))
+		}
+		for j := range h.orders[i] {
+			if h.orders[i][j] != h.orders[0][j] {
+				h.t.Fatalf("execution order diverges at %d", j)
+			}
+		}
+	}
+	if len(h.order) != total {
+		h.t.Fatalf("executed %d commands, want %d", len(h.order), total)
+	}
+	// 2. Sequential semantics: replaying the execution order must
+	// reproduce every reply the clients saw.
+	replay := kvstore.New()
+	pos := make(map[types.CommandID]int, len(h.order))
+	for i, cid := range h.order {
+		pos[cid] = i
+		want := replay.Apply(h.payloads[cid])
+		got, ok := h.results[cid]
+		if !ok {
+			h.t.Fatalf("no reply for %v", cid)
+		}
+		if string(want) != string(got) {
+			h.t.Fatalf("command %d (%v): reply %q, sequential replay says %q", i, cid, got, want)
+		}
+	}
+	// 3. Real-time order: if c1's reply precedes c2's submission, c1
+	// executes before c2.
+	for c1, r1 := range h.replies {
+		for c2, s2 := range h.submits {
+			if r1 < s2 && pos[c1] >= pos[c2] {
+				h.t.Fatalf("real-time violation: %v replied at %v before %v submitted at %v, but executed at %d ≥ %d",
+					c1, r1, c2, s2, pos[c1], pos[c2])
+			}
+		}
+	}
+}
+
+func TestLinearizability(t *testing.T) {
+	sites := []wan.Site{wan.CA, wan.VA, wan.IR, wan.JP, wan.SG}
+	for _, p := range AllProtocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := newLinHarness(t, p, sites, 7)
+			total := 0
+			for k := 0; k < 120; k++ {
+				at := types.ReplicaID(rng.Intn(len(sites)))
+				when := time.Duration(rng.Intn(4000)) * time.Millisecond
+				h.submitAt(rng, at, when)
+				total++
+			}
+			h.c.Eng.RunUntil(60 * time.Second)
+			h.verify(total)
+		})
+	}
+}
+
+func TestLinearizabilityWithClockSkew(t *testing.T) {
+	// Clock-RSM under ±20ms skew: correctness must not depend on
+	// synchronization precision (Section II-A).
+	sites := []wan.Site{wan.CA, wan.VA, wan.IR}
+	h := &linHarness{
+		t: t,
+		c: sim.NewCluster(wan.EC2Matrix(sites), sim.ClusterOptions{
+			Seed:   3,
+			Jitter: 2 * time.Millisecond,
+			Skews:  []time.Duration{0, 20 * time.Millisecond, -20 * time.Millisecond},
+		}),
+		payloads: make(map[types.CommandID][]byte),
+		submits:  make(map[types.CommandID]time.Duration),
+		replies:  make(map[types.CommandID]time.Duration),
+		results:  make(map[types.CommandID][]byte),
+		orders:   make([][]types.CommandID, len(sites)),
+	}
+	for i := range sites {
+		i := i
+		app := &rsm.App{
+			SM: kvstore.New(),
+			OnCommit: func(ts types.Timestamp, cmd types.Command) {
+				h.orders[i] = append(h.orders[i], cmd.ID)
+				if i == 0 {
+					h.order = append(h.order, cmd.ID)
+				}
+			},
+			OnReply: func(res types.Result) {
+				h.replies[res.ID] = h.c.Eng.Now()
+				h.results[res.ID] = res.Value
+			},
+		}
+		proto, err := newProtocol(ClockRSM, h.c.Replicas[i], app, 0, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.protos = append(h.protos, proto)
+		h.c.Replicas[i].SetProtocol(proto)
+	}
+	h.c.Start()
+
+	rng := rand.New(rand.NewSource(99))
+	total := 0
+	for k := 0; k < 90; k++ {
+		h.submitAt(rng, types.ReplicaID(rng.Intn(3)), time.Duration(rng.Intn(3000))*time.Millisecond)
+		total++
+	}
+	h.c.Eng.RunUntil(60 * time.Second)
+	h.verify(total)
+}
+
+// Linearizability under many random seeds — a lightweight fuzz of the
+// protocol interleavings.
+func TestLinearizabilityManySeeds(t *testing.T) {
+	sites := []wan.Site{wan.CA, wan.VA, wan.IR}
+	for seed := int64(0); seed < 8; seed++ {
+		for _, p := range []Protocol{ClockRSM, MenciusBcast} {
+			h := newLinHarness(t, p, sites, seed)
+			rng := rand.New(rand.NewSource(seed * 31))
+			total := 0
+			for k := 0; k < 40; k++ {
+				h.submitAt(rng, types.ReplicaID(rng.Intn(3)), time.Duration(rng.Intn(1500))*time.Millisecond)
+				total++
+			}
+			h.c.Eng.RunUntil(30 * time.Second)
+			h.verify(total)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package runner is the experiment harness: it assembles a protocol, a
+// workload and a (simulated or real) cluster for each table and figure
+// of the paper's evaluation (Section VI) and returns the statistics the
+// paper reports.
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/mencius"
+	"clockrsm/internal/paxos"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/sim"
+	"clockrsm/internal/stats"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+	"clockrsm/internal/workload"
+)
+
+// Protocol selects the replication protocol under test.
+type Protocol string
+
+// Protocols evaluated in the paper.
+const (
+	ClockRSM     Protocol = "Clock-RSM"
+	Paxos        Protocol = "Paxos"
+	PaxosBcast   Protocol = "Paxos-bcast"
+	MenciusBcast Protocol = "Mencius-bcast"
+)
+
+// AllProtocols lists the four protocols in the paper's legend order.
+func AllProtocols() []Protocol {
+	return []Protocol{Paxos, MenciusBcast, PaxosBcast, ClockRSM}
+}
+
+// LatencyConfig describes one latency experiment run.
+type LatencyConfig struct {
+	// Sites places replica k at Sites[k] (latencies from Table III).
+	Sites []wan.Site
+	// Protocol is the replication protocol under test.
+	Protocol Protocol
+	// Leader indexes Sites; used by Paxos and Paxos-bcast.
+	Leader int
+	// ClientsPerReplica is the closed-loop client count per serving
+	// replica (the paper uses 40).
+	ClientsPerReplica int
+	// OnlyReplica, when ≥ 0, makes the workload imbalanced: only that
+	// replica serves clients.
+	OnlyReplica int
+	// ThinkMax is the client think-time bound (paper: 80 ms).
+	ThinkMax time.Duration
+	// PayloadSize is the update value size (paper: 64 B).
+	PayloadSize int
+	// Delta is Clock-RSM's CLOCKTIME interval (paper: 5 ms).
+	Delta time.Duration
+	// Warmup discards samples before this virtual time.
+	Warmup time.Duration
+	// Duration is the total virtual run time.
+	Duration time.Duration
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Jitter adds uniform per-message delay in [0, Jitter).
+	Jitter time.Duration
+}
+
+// withDefaults fills the paper's parameters for unset fields.
+func (c LatencyConfig) withDefaults() LatencyConfig {
+	if c.ClientsPerReplica == 0 {
+		c.ClientsPerReplica = 40
+	}
+	if c.ThinkMax == 0 {
+		c.ThinkMax = 80 * time.Millisecond
+	}
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 64
+	}
+	if c.Delta == 0 {
+		c.Delta = 5 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 10
+	}
+	return c
+}
+
+// LatencyResult holds per-replica commit latency samples, indexed like
+// the configuration's Sites.
+type LatencyResult struct {
+	Sites   []wan.Site
+	Samples []*stats.Sample
+}
+
+// newProtocol constructs the protocol instance for one replica.
+func newProtocol(p Protocol, env rsm.Env, app *rsm.App, leader types.ReplicaID, delta time.Duration) (rsm.Protocol, error) {
+	switch p {
+	case ClockRSM:
+		return core.New(env, app, core.Options{ClockTimeInterval: delta}), nil
+	case Paxos:
+		return paxos.New(env, app, paxos.Options{Leader: leader}), nil
+	case PaxosBcast:
+		return paxos.New(env, app, paxos.Options{Leader: leader, Broadcast: true}), nil
+	case MenciusBcast:
+		return mencius.New(env, app), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", p)
+	}
+}
+
+// RunLatency executes one latency experiment on the simulator and
+// returns per-replica client latency statistics.
+func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
+	cfg = cfg.withDefaults()
+	n := len(cfg.Sites)
+	cluster := sim.NewCluster(wan.EC2Matrix(cfg.Sites), sim.ClusterOptions{
+		Seed:   cfg.Seed,
+		Jitter: cfg.Jitter,
+	})
+	pool := workload.NewPool(cluster.Eng, cfg.Seed+1, workload.PoolOptions{
+		ThinkMax:    cfg.ThinkMax,
+		PayloadSize: cfg.PayloadSize,
+		Warmup:      cfg.Warmup,
+	})
+
+	for i := 0; i < n; i++ {
+		rep := cluster.Replicas[i]
+		app := &rsm.App{
+			SM:      kvstore.New(),
+			OnReply: pool.OnReply,
+		}
+		proto, err := newProtocol(cfg.Protocol, rep, app, types.ReplicaID(cfg.Leader), cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		rep.SetProtocol(proto)
+	}
+	cluster.Start()
+
+	for i := 0; i < n; i++ {
+		if cfg.OnlyReplica >= 0 && i != cfg.OnlyReplica {
+			continue
+		}
+		id := types.ReplicaID(i)
+		rep := cluster.Replicas[i]
+		pool.AttachClients(id, cfg.ClientsPerReplica, rep.Submit)
+	}
+
+	cluster.Eng.RunUntil(cfg.Duration)
+
+	res := &LatencyResult{Sites: cfg.Sites}
+	for i := 0; i < n; i++ {
+		res.Samples = append(res.Samples, pool.Sample(types.ReplicaID(i)))
+	}
+	return res, nil
+}
+
+// FiveSites is the paper's five-replica placement (Section VI-B).
+func FiveSites() []wan.Site {
+	return []wan.Site{wan.CA, wan.VA, wan.IR, wan.JP, wan.SG}
+}
+
+// ThreeSites is the paper's three-replica placement.
+func ThreeSites() []wan.Site {
+	return []wan.Site{wan.CA, wan.VA, wan.IR}
+}
+
+// SiteIndex locates a site within a placement.
+func SiteIndex(sites []wan.Site, s wan.Site) int {
+	for i, v := range sites {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Bar is one bar of a latency figure: a protocol's mean and 95th
+// percentile commit latency at one replica.
+type Bar struct {
+	Site     wan.Site
+	Protocol Protocol
+	Mean     time.Duration
+	P95      time.Duration
+	Count    int
+}
+
+// FigureOptions scale the experiments: tests use shorter runs and fewer
+// clients; cmd/rsmbench uses the paper's parameters.
+type FigureOptions struct {
+	ClientsPerReplica int
+	Duration          time.Duration
+	Seed              int64
+	Jitter            time.Duration
+}
+
+// barsFor runs every protocol over the placement and flattens the
+// per-replica statistics, the layout of Figures 1, 2 and 5.
+func barsFor(sites []wan.Site, leader wan.Site, imbalancedAt int, opts FigureOptions) ([]Bar, error) {
+	var bars []Bar
+	for _, p := range AllProtocols() {
+		cfg := LatencyConfig{
+			Sites:             sites,
+			Protocol:          p,
+			Leader:            SiteIndex(sites, leader),
+			OnlyReplica:       imbalancedAt,
+			ClientsPerReplica: opts.ClientsPerReplica,
+			Duration:          opts.Duration,
+			Seed:              opts.Seed,
+			Jitter:            opts.Jitter,
+		}
+		res, err := RunLatency(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, site := range sites {
+			if imbalancedAt >= 0 && i != imbalancedAt {
+				continue
+			}
+			s := res.Samples[i]
+			bars = append(bars, Bar{
+				Site: site, Protocol: p,
+				Mean: s.Mean(), P95: s.P95(), Count: s.Count(),
+			})
+		}
+	}
+	return bars, nil
+}
+
+// Figure1 reproduces Figure 1: average and 95th-percentile commit
+// latency at each of five replicas under balanced workloads, with the
+// Paxos leader at the given site (CA for 1a, VA for 1b).
+func Figure1(leader wan.Site, opts FigureOptions) ([]Bar, error) {
+	return barsFor(FiveSites(), leader, -1, opts)
+}
+
+// Figure2 reproduces Figure 2: three replicas, balanced workload,
+// leader at CA (2a) or VA (2b).
+func Figure2(leader wan.Site, opts FigureOptions) ([]Bar, error) {
+	return barsFor(ThreeSites(), leader, -1, opts)
+}
+
+// CDFSeries is a protocol's latency distribution at one replica.
+type CDFSeries struct {
+	Protocol Protocol
+	Points   []stats.CDFPoint
+}
+
+// cdfAt runs every protocol and extracts the latency CDF observed at
+// one site.
+func cdfAt(sites []wan.Site, leader wan.Site, at wan.Site, imbalancedAt int, points int, opts FigureOptions) ([]CDFSeries, error) {
+	var out []CDFSeries
+	for _, p := range AllProtocols() {
+		cfg := LatencyConfig{
+			Sites:             sites,
+			Protocol:          p,
+			Leader:            SiteIndex(sites, leader),
+			OnlyReplica:       imbalancedAt,
+			ClientsPerReplica: opts.ClientsPerReplica,
+			Duration:          opts.Duration,
+			Seed:              opts.Seed,
+			Jitter:            opts.Jitter,
+		}
+		res, err := RunLatency(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := res.Samples[SiteIndex(sites, at)]
+		out = append(out, CDFSeries{Protocol: p, Points: s.CDF(points)})
+	}
+	return out, nil
+}
+
+// Figure3 reproduces Figure 3: the latency distribution at JP with five
+// replicas, leader at CA, balanced workload.
+func Figure3(opts FigureOptions) ([]CDFSeries, error) {
+	return cdfAt(FiveSites(), wan.CA, wan.JP, -1, 50, opts)
+}
+
+// Figure4 reproduces Figure 4: the latency distribution at CA with
+// three replicas, leader at VA, balanced workload.
+func Figure4(opts FigureOptions) ([]CDFSeries, error) {
+	return cdfAt(ThreeSites(), wan.VA, wan.CA, -1, 50, opts)
+}
+
+// Figure5 reproduces Figure 5: imbalanced workloads over five replicas
+// with the Paxos leader at CA. Each bar comes from a separate run in
+// which only that replica serves clients.
+func Figure5(opts FigureOptions) ([]Bar, error) {
+	sites := FiveSites()
+	var bars []Bar
+	for i := range sites {
+		b, err := barsFor(sites, wan.CA, i, opts)
+		if err != nil {
+			return nil, err
+		}
+		bars = append(bars, b...)
+	}
+	return bars, nil
+}
+
+// Figure6 reproduces Figure 6: the latency distribution at SG with five
+// replicas under the imbalanced workload (only SG serves), leader at CA.
+func Figure6(opts FigureOptions) ([]CDFSeries, error) {
+	sites := FiveSites()
+	return cdfAt(sites, wan.CA, wan.SG, SiteIndex(sites, wan.SG), 50, opts)
+}

@@ -1,0 +1,238 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/analysis"
+	"clockrsm/internal/stats"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// testOpts keeps simulated experiments fast in CI while preserving the
+// paper's workload shape.
+func testOpts() FigureOptions {
+	return FigureOptions{
+		ClientsPerReplica: 10,
+		Duration:          8 * time.Second,
+		Seed:              1,
+		Jitter:            500 * time.Microsecond,
+	}
+}
+
+// meanOf extracts the bar for (site, protocol).
+func meanOf(bars []Bar, site wan.Site, p Protocol) (Bar, bool) {
+	for _, b := range bars {
+		if b.Site == site && b.Protocol == p {
+			return b, true
+		}
+	}
+	return Bar{}, false
+}
+
+func TestRunLatencySmoke(t *testing.T) {
+	res, err := RunLatency(LatencyConfig{
+		Sites:             ThreeSites(),
+		Protocol:          ClockRSM,
+		ClientsPerReplica: 5,
+		Duration:          5 * time.Second,
+		OnlyReplica:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Samples {
+		if s.Count() == 0 {
+			t.Errorf("replica %d has no samples", i)
+		}
+		if s.Mean() <= 0 {
+			t.Errorf("replica %d mean %v", i, s.Mean())
+		}
+	}
+}
+
+func TestRunLatencyUnknownProtocol(t *testing.T) {
+	if _, err := RunLatency(LatencyConfig{Sites: ThreeSites(), Protocol: "nope", OnlyReplica: -1}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// Figure 1(b): leader at VA. The paper's headline claims:
+	// Clock-RSM beats Mencius-bcast everywhere and beats Paxos-bcast at
+	// non-leader replicas; at the leader Paxos-bcast is at least as good.
+	bars, err := Figure1(wan.VA, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 6 * time.Millisecond
+	for _, site := range FiveSites() {
+		clock, ok1 := meanOf(bars, site, ClockRSM)
+		pb, ok2 := meanOf(bars, site, PaxosBcast)
+		mb, ok3 := meanOf(bars, site, MenciusBcast)
+		px, ok4 := meanOf(bars, site, Paxos)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			t.Fatalf("missing bars for %v", site)
+		}
+		if clock.Mean > mb.Mean+tol {
+			t.Errorf("%v: Clock-RSM %v slower than Mencius-bcast %v", site, clock.Mean, mb.Mean)
+		}
+		if site != wan.VA && clock.Mean > pb.Mean+tol {
+			t.Errorf("non-leader %v: Clock-RSM %v slower than Paxos-bcast %v", site, clock.Mean, pb.Mean)
+		}
+		if pb.Mean > px.Mean+tol {
+			t.Errorf("%v: Paxos-bcast %v slower than Paxos %v", site, pb.Mean, px.Mean)
+		}
+		// Sanity: p95 ≥ mean.
+		if clock.P95 < clock.Mean {
+			t.Errorf("%v: p95 %v < mean %v", site, clock.P95, clock.Mean)
+		}
+	}
+	// Cross-validate Clock-RSM against the analytic model: the balanced
+	// formula's lc3^worst term is a worst case (it binds only when a far
+	// replica proposes just before ours), so the simulated mean lies
+	// between the imbalanced (lc3 never binds) and balanced bounds.
+	m := wan.EC2Matrix(FiveSites())
+	for i, site := range FiveSites() {
+		lo := analysis.ClockRSMImbalanced(m, types.ReplicaID(i))
+		hi := analysis.ClockRSMBalanced(m, types.ReplicaID(i))
+		got, _ := meanOf(bars, site, ClockRSM)
+		if got.Mean < lo-tol || got.Mean > hi+2*tol {
+			t.Errorf("%v: simulated Clock-RSM %v outside analytic [%v, %v]", site, got.Mean, lo, hi)
+		}
+	}
+}
+
+func TestFigure2LeaderVA(t *testing.T) {
+	// Figure 2(b): with leader VA, Clock-RSM and Paxos-bcast have
+	// similar latencies at all three replicas.
+	bars, err := Figure2(wan.VA, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range ThreeSites() {
+		clock, _ := meanOf(bars, site, ClockRSM)
+		pb, _ := meanOf(bars, site, PaxosBcast)
+		diff := clock.Mean - pb.Mean
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 15*time.Millisecond {
+			t.Errorf("%v: Clock-RSM %v vs Paxos-bcast %v differ by %v", site, clock.Mean, pb.Mean, diff)
+		}
+	}
+}
+
+func TestFigure2LeaderCAIRGap(t *testing.T) {
+	// Figure 2(a): leader CA forces IR onto the longest path under
+	// Paxos-bcast; Clock-RSM is much lower at IR.
+	bars, err := Figure2(wan.CA, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, _ := meanOf(bars, wan.IR, ClockRSM)
+	pb, _ := meanOf(bars, wan.IR, PaxosBcast)
+	if clock.Mean+20*time.Millisecond > pb.Mean {
+		t.Errorf("IR: Clock-RSM %v should be well below Paxos-bcast %v", clock.Mean, pb.Mean)
+	}
+}
+
+func TestFigure3CDF(t *testing.T) {
+	series, err := Figure3(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%v: empty CDF", s.Protocol)
+		}
+		last := s.Points[len(s.Points)-1]
+		if last.Fraction != 1 {
+			t.Errorf("%v: CDF ends at %.2f", s.Protocol, last.Fraction)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Latency < s.Points[i-1].Latency {
+				t.Fatalf("%v: CDF not monotone", s.Protocol)
+			}
+		}
+	}
+	// Paper: Mencius-bcast at JP varies widely (delayed commit); Paxos
+	// variants are predictable. Compare spreads.
+	spread := func(p Protocol) time.Duration {
+		for _, s := range series {
+			if s.Protocol == p {
+				return s.Points[len(s.Points)-1].Latency - s.Points[0].Latency
+			}
+		}
+		return 0
+	}
+	if spread(MenciusBcast) <= spread(PaxosBcast) {
+		t.Errorf("Mencius-bcast spread %v not wider than Paxos-bcast %v",
+			spread(MenciusBcast), spread(PaxosBcast))
+	}
+}
+
+func TestFigure5ImbalancedShape(t *testing.T) {
+	// Figure 5: Mencius-bcast's average latency becomes much higher than
+	// Clock-RSM's under imbalanced load, at every replica.
+	opts := testOpts()
+	opts.Duration = 6 * time.Second
+	bars, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := wan.EC2Matrix(FiveSites())
+	for i, site := range FiveSites() {
+		clock, ok1 := meanOf(bars, site, ClockRSM)
+		mb, ok2 := meanOf(bars, site, MenciusBcast)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing imbalanced bars for %v", site)
+		}
+		if clock.Mean >= mb.Mean {
+			t.Errorf("%v: imbalanced Clock-RSM %v not below Mencius-bcast %v", site, clock.Mean, mb.Mean)
+		}
+		// Mencius-bcast should sit near its analytic 2*max.
+		want := analysis.MenciusBcastImbalanced(m, types.ReplicaID(i))
+		if mb.Mean < want-10*time.Millisecond || mb.Mean > want+25*time.Millisecond {
+			t.Errorf("%v: Mencius-bcast imbalanced %v vs analytic %v", site, mb.Mean, want)
+		}
+	}
+}
+
+func TestFigure6CDF(t *testing.T) {
+	series, err := Figure6(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock, mencius []stats.CDFPoint
+	for _, s := range series {
+		switch s.Protocol {
+		case ClockRSM:
+			clock = s.Points
+		case MenciusBcast:
+			mencius = s.Points
+		}
+	}
+	if len(clock) == 0 || len(mencius) == 0 {
+		t.Fatal("missing series")
+	}
+	// At SG under imbalanced load, Mencius-bcast's median is well above
+	// Clock-RSM's (Figure 6).
+	med := func(ps []stats.CDFPoint) time.Duration { return ps[len(ps)/2].Latency }
+	if med(clock) >= med(mencius) {
+		t.Errorf("median Clock-RSM %v not below Mencius-bcast %v", med(clock), med(mencius))
+	}
+}
+
+func TestSiteIndex(t *testing.T) {
+	if SiteIndex(FiveSites(), wan.JP) != 3 {
+		t.Error("JP index wrong")
+	}
+	if SiteIndex(FiveSites(), wan.BR) != -1 {
+		t.Error("missing site should be -1")
+	}
+}

@@ -1,0 +1,198 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// ThroughputConfig describes one throughput experiment (Figure 8,
+// Section VI-D). It runs on the real runtime — goroutine replicas over
+// an in-process transport with the binary codec enabled — so message
+// processing cost is real CPU cost, which is what the paper measures
+// ("in all cases, CPU is the bottleneck and message sending and
+// receiving is the major consumer of CPU cycles"). Replicas log to main
+// memory, as in the paper.
+type ThroughputConfig struct {
+	Replicas          int
+	Protocol          Protocol
+	Leader            int
+	ClientsPerReplica int
+	// PayloadSize is the command size (paper: 10, 100, 1000 bytes).
+	PayloadSize int
+	Warmup      time.Duration
+	Duration    time.Duration
+}
+
+// withDefaults fills reasonable defaults for unset fields.
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Replicas == 0 {
+		c.Replicas = 5
+	}
+	if c.ClientsPerReplica == 0 {
+		c.ClientsPerReplica = 16
+	}
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 100
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	return c
+}
+
+// ThroughputResult reports one throughput measurement.
+type ThroughputResult struct {
+	Protocol    Protocol
+	PayloadSize int
+	// OpsPerSec is committed client commands per second, summed over
+	// all replicas.
+	OpsPerSec float64
+}
+
+// RunThroughput saturates a local cluster with closed-loop zero-think
+// clients and measures committed commands per second.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Replicas
+	hub := transport.NewHub(n, transport.HubOptions{Codec: true})
+	defer hub.Close()
+
+	spec := make([]types.ReplicaID, n)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+
+	// replyChans[replica][client] wakes the closed-loop client.
+	replyChans := make([][]chan struct{}, n)
+	var completed atomic.Uint64
+	var measuring atomic.Bool
+
+	nodes := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		replyChans[i] = make([]chan struct{}, cfg.ClientsPerReplica)
+		for c := range replyChans[i] {
+			replyChans[i][c] = make(chan struct{}, 1)
+		}
+		// The paper's throughput runs log to main memory with recovery out
+		// of scope; NullLog keeps long saturation runs from accumulating
+		// unbounded history (memory pressure would otherwise dominate).
+		nd := node.New(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.Options{
+			Log: storage.NewNullLog(),
+		})
+		app := &rsm.App{
+			SM: kvstore.New(),
+			OnReply: func(res types.Result) {
+				if measuring.Load() {
+					completed.Add(1)
+				}
+				cli := int(res.ID.Seq >> 32)
+				if cli < len(replyChans[i]) {
+					select {
+					case replyChans[i][cli] <- struct{}{}:
+					default:
+					}
+				}
+			},
+		}
+		proto, err := newProtocol(cfg.Protocol, nd, app, types.ReplicaID(cfg.Leader), 5*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		nd.SetProtocol(proto)
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			return nil, fmt.Errorf("start node: %w", err)
+		}
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	// Closed-loop clients with zero think time: "clients send frequent
+	// enough commands to all replicas to saturate them".
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		for c := 0; c < cfg.ClientsPerReplica; c++ {
+			wg.Add(1)
+			go func(rep, cli int) {
+				defer wg.Done()
+				payload := kvstore.Put("key", make([]byte, cfg.PayloadSize))
+				var seq uint64
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					seq++
+					nodes[rep].Submit(types.Command{
+						ID:      types.CommandID{Origin: types.ReplicaID(rep), Seq: uint64(cli)<<32 | seq},
+						Payload: payload,
+					})
+					select {
+					case <-replyChans[rep][cli]:
+					case <-stop:
+						return
+					}
+				}
+			}(i, c)
+		}
+	}
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	return &ThroughputResult{
+		Protocol:    cfg.Protocol,
+		PayloadSize: cfg.PayloadSize,
+		OpsPerSec:   float64(completed.Load()) / elapsed.Seconds(),
+	}, nil
+}
+
+// Figure8 reproduces Figure 8: throughput of all four protocols on a
+// local five-replica cluster for small (10 B), medium (100 B) and large
+// (1000 B) commands.
+func Figure8(sizes []int, perRun time.Duration) ([]ThroughputResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 100, 1000}
+	}
+	var out []ThroughputResult
+	for _, size := range sizes {
+		for _, p := range AllProtocols() {
+			res, err := RunThroughput(ThroughputConfig{
+				Protocol:    p,
+				PayloadSize: size,
+				Duration:    perRun,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *res)
+		}
+	}
+	return out, nil
+}

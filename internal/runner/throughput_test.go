@@ -1,0 +1,35 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time throughput run")
+	}
+	for _, p := range []Protocol{ClockRSM, PaxosBcast, MenciusBcast, Paxos} {
+		res, err := RunThroughput(ThroughputConfig{
+			Replicas:          3,
+			Protocol:          p,
+			ClientsPerReplica: 4,
+			PayloadSize:       100,
+			Warmup:            100 * time.Millisecond,
+			Duration:          300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.OpsPerSec <= 0 {
+			t.Errorf("%v: zero throughput", p)
+		}
+		t.Logf("%v: %.0f ops/s", p, res.OpsPerSec)
+	}
+}
+
+func TestRunThroughputUnknownProtocol(t *testing.T) {
+	if _, err := RunThroughput(ThroughputConfig{Protocol: "nope", Duration: 50 * time.Millisecond}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

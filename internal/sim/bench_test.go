@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 4096 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}
+
+func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, fn)
+		e.RunUntilIdle()
+	}
+}
+
+func BenchmarkNetworkSendDeliver(b *testing.B) {
+	e := NewEngine()
+	n := NewNetwork(e, wan.Uniform(5, time.Millisecond), 0, nil)
+	m := &msg.Commit{Slot: 1}
+	for i := 0; i < 5; i++ {
+		n.Register(types.ReplicaID(i), func(types.ReplicaID, msg.Message) {})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Send(0, types.ReplicaID(1+i%4), m)
+		if e.Pending() > 4096 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}

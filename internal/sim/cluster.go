@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"clockrsm/internal/clock"
+	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// Replica is one simulated replica: an rsm.Env implementation bound to
+// the cluster's engine and network.
+type Replica struct {
+	id    types.ReplicaID
+	spec  []types.ReplicaID
+	clk   clock.Clock
+	eng   *Engine
+	net   *Network
+	log   storage.Log
+	proto rsm.Protocol
+	// gen invalidates outstanding timers across crashes: a timer fires
+	// only if the replica generation is unchanged.
+	gen int
+}
+
+var _ rsm.Env = (*Replica)(nil)
+
+// ID implements rsm.Env.
+func (r *Replica) ID() types.ReplicaID { return r.id }
+
+// Spec implements rsm.Env.
+func (r *Replica) Spec() []types.ReplicaID { return r.spec }
+
+// Clock implements rsm.Env.
+func (r *Replica) Clock() int64 { return r.clk.Now() }
+
+// Send implements rsm.Env.
+func (r *Replica) Send(to types.ReplicaID, m msg.Message) { r.net.Send(r.id, to, m) }
+
+// After implements rsm.Env.
+func (r *Replica) After(d time.Duration, fn func()) {
+	gen := r.gen
+	r.eng.After(d, func() {
+		if r.gen == gen && !r.net.IsDown(r.id) {
+			fn()
+		}
+	})
+}
+
+// Log implements rsm.Env.
+func (r *Replica) Log() storage.Log { return r.log }
+
+// SetLog swaps the replica's stable log; used when restarting a crashed
+// replica that reopens its on-disk log.
+func (r *Replica) SetLog(l storage.Log) { r.log = l }
+
+// SetProtocol binds the protocol instance driven by this replica's
+// events. It must be called before Start.
+func (r *Replica) SetProtocol(p rsm.Protocol) { r.proto = p }
+
+// Protocol returns the bound protocol instance.
+func (r *Replica) Protocol() rsm.Protocol { return r.proto }
+
+// Submit hands a client command to the replica's protocol at the current
+// virtual time.
+func (r *Replica) Submit(cmd types.Command) { r.proto.Submit(cmd) }
+
+// ClusterOptions configure NewCluster.
+type ClusterOptions struct {
+	// Skews holds the per-replica clock offset from virtual time;
+	// nil means perfectly synchronized clocks.
+	Skews []time.Duration
+	// Jitter adds uniform random delay in [0, Jitter) per message.
+	Jitter time.Duration
+	// Seed drives all randomness (jitter); runs with equal seeds are
+	// identical.
+	Seed int64
+	// NewLog constructs each replica's stable log; nil means in-memory.
+	NewLog func(id types.ReplicaID) storage.Log
+}
+
+// Cluster wires N simulated replicas to one engine and network.
+type Cluster struct {
+	Eng      *Engine
+	Net      *Network
+	Replicas []*Replica
+	Rand     *rand.Rand
+}
+
+// NewCluster builds a cluster over the latency matrix. Protocols are
+// attached afterwards with Replica.SetProtocol, then started with Start.
+func NewCluster(lat *wan.Matrix, opts ClusterOptions) *Cluster {
+	n := lat.Size()
+	eng := NewEngine()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	net := NewNetwork(eng, lat, opts.Jitter, rng)
+	spec := make([]types.ReplicaID, n)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+	c := &Cluster{Eng: eng, Net: net, Rand: rng}
+	for i := 0; i < n; i++ {
+		id := types.ReplicaID(i)
+		var skew time.Duration
+		if opts.Skews != nil {
+			skew = opts.Skews[i]
+		}
+		var lg storage.Log
+		if opts.NewLog != nil {
+			lg = opts.NewLog(id)
+		} else {
+			lg = storage.NewMemLog()
+		}
+		r := &Replica{
+			id:   id,
+			spec: spec,
+			eng:  eng,
+			net:  net,
+			log:  lg,
+			clk:  newSimClock(eng, skew),
+		}
+		net.Register(id, func(from types.ReplicaID, m msg.Message) {
+			r.proto.Deliver(from, m)
+		})
+		c.Replicas = append(c.Replicas, r)
+	}
+	return c
+}
+
+// newSimClock returns a strictly-increasing clock reading virtual time
+// plus a fixed skew.
+func newSimClock(eng *Engine, skew time.Duration) clock.Clock {
+	return clock.NewMonotonic(clock.Func(func() int64 {
+		return int64(eng.Now() + skew)
+	}))
+}
+
+// Start starts every replica's protocol.
+func (c *Cluster) Start() {
+	for _, r := range c.Replicas {
+		r.proto.Start()
+	}
+}
+
+// Crash fails a replica: messages stop flowing and its pending timers
+// are invalidated. Its log survives for recovery.
+func (c *Cluster) Crash(id types.ReplicaID) {
+	c.Net.Crash(id)
+	c.Replicas[id].gen++
+}
+
+// Restart revives a crashed replica. Callers typically install a fresh
+// protocol instance (recovered from the on-disk log) before resuming.
+func (c *Cluster) Restart(id types.ReplicaID) {
+	c.Net.Restart(id)
+	c.Replicas[id].gen++
+}

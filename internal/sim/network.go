@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// Handler receives a message delivered to a replica.
+type Handler func(from types.ReplicaID, m msg.Message)
+
+// Network delivers messages between simulated replicas with the one-way
+// latencies of a wan.Matrix. Links are FIFO (Section II-A assumes FIFO
+// delivery); jitter, crashes and partitions can be injected for failure
+// testing.
+type Network struct {
+	eng      *Engine
+	lat      *wan.Matrix
+	handlers []Handler
+	// lastArrival[from][to] enforces per-link FIFO delivery even when
+	// jitter would reorder messages.
+	lastArrival [][]time.Duration
+	down        []bool
+	cut         map[[2]types.ReplicaID]bool
+	// held buffers messages sent across a partitioned link; they are
+	// (re)delivered when the link heals — the model assumes messages are
+	// eventually delivered (Section II-A). Messages to crashed replicas
+	// are dropped instead: the process lost its connections.
+	held   map[[2]types.ReplicaID][]msg.Message
+	jitter time.Duration
+	rng    *rand.Rand
+
+	// Sent counts messages handed to the network, Delivered counts
+	// messages that reached a live handler.
+	Sent      uint64
+	Delivered uint64
+}
+
+// NewNetwork creates a network over lat. jitter, when positive, adds a
+// uniform random delay in [0, jitter) to every message using rng (which
+// may be nil when jitter is zero).
+func NewNetwork(eng *Engine, lat *wan.Matrix, jitter time.Duration, rng *rand.Rand) *Network {
+	n := lat.Size()
+	la := make([][]time.Duration, n)
+	for i := range la {
+		la[i] = make([]time.Duration, n)
+	}
+	return &Network{
+		eng:         eng,
+		lat:         lat,
+		handlers:    make([]Handler, n),
+		lastArrival: la,
+		down:        make([]bool, n),
+		cut:         make(map[[2]types.ReplicaID]bool),
+		held:        make(map[[2]types.ReplicaID][]msg.Message),
+		jitter:      jitter,
+		rng:         rng,
+	}
+}
+
+// Size returns the number of replicas attached to the network.
+func (n *Network) Size() int { return n.lat.Size() }
+
+// Register installs the message handler for replica id.
+func (n *Network) Register(id types.ReplicaID, h Handler) { n.handlers[id] = h }
+
+// Send schedules delivery of m from one replica to another after the
+// link's one-way latency (plus jitter), preserving FIFO order per link.
+// Messages to or from crashed replicas, or across a partition, are
+// dropped — the sender's TCP connection would have failed.
+func (n *Network) Send(from, to types.ReplicaID, m msg.Message) {
+	n.Sent++
+	if n.down[from] || n.down[to] {
+		return
+	}
+	if key := linkKey(from, to); n.cut[key] {
+		n.held[key] = append(n.held[key], m)
+		return
+	}
+	d := n.lat.OneWay(from, to)
+	if n.jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	arrival := n.eng.Now() + d
+	if arrival < n.lastArrival[from][to] {
+		arrival = n.lastArrival[from][to]
+	}
+	n.lastArrival[from][to] = arrival
+	n.eng.At(arrival, func() {
+		if n.down[to] || n.handlers[to] == nil {
+			return
+		}
+		n.Delivered++
+		n.handlers[to](from, m)
+	})
+}
+
+// Crash marks a replica as failed: in-flight messages to it are lost and
+// it neither sends nor receives until Restart.
+func (n *Network) Crash(id types.ReplicaID) { n.down[id] = true }
+
+// Restart brings a crashed replica back; its handler receives messages
+// sent after the restart.
+func (n *Network) Restart(id types.ReplicaID) { n.down[id] = false }
+
+// IsDown reports whether the replica is crashed.
+func (n *Network) IsDown(id types.ReplicaID) bool { return n.down[id] }
+
+// Partition cuts the bidirectional link between a and b.
+func (n *Network) Partition(a, b types.ReplicaID) {
+	n.cut[linkKey(a, b)] = true
+	n.cut[linkKey(b, a)] = true
+}
+
+// Heal restores the link between a and b; messages held during the
+// partition are delivered in order ahead of new traffic.
+func (n *Network) Heal(a, b types.ReplicaID) {
+	for _, key := range [][2]types.ReplicaID{linkKey(a, b), linkKey(b, a)} {
+		delete(n.cut, key)
+		held := n.held[key]
+		delete(n.held, key)
+		for _, m := range held {
+			n.Send(key[0], key[1], m)
+			n.Sent-- // the original Send already counted it
+		}
+	}
+}
+
+func linkKey(a, b types.ReplicaID) [2]types.ReplicaID { return [2]types.ReplicaID{a, b} }

@@ -1,0 +1,150 @@
+// Package stats collects latency samples and derives the summary
+// statistics reported in the paper's evaluation: averages, 95th
+// percentiles (Figures 1, 2, 5) and latency CDFs (Figures 3, 4, 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates duration observations. The zero value is ready to
+// use. Sample is not safe for concurrent use; callers aggregate per
+// goroutine and merge.
+type Sample struct {
+	vals   []time.Duration
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.vals = append(s.vals, d)
+	s.sorted = false
+}
+
+// AddAll records many observations.
+func (s *Sample) AddAll(ds []time.Duration) {
+	s.vals = append(s.vals, ds...)
+	s.sorted = false
+}
+
+// Merge folds another sample's observations into s.
+func (s *Sample) Merge(o *Sample) { s.AddAll(o.vals) }
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.vals) }
+
+// Mean returns the average observation, or 0 for an empty sample.
+func (s *Sample) Mean() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += float64(v)
+	}
+	return time.Duration(sum / float64(len(s.vals)))
+}
+
+// ensureSorted sorts the backing slice once; subsequent quantile queries
+// are O(1).
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
+// method, or 0 for an empty sample.
+func (s *Sample) Quantile(q float64) time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.vals[rank]
+}
+
+// P95 returns the 95th-percentile observation, the statistic drawn as
+// lines atop the bars in Figures 1, 2 and 5.
+func (s *Sample) P95() time.Duration { return s.Quantile(0.95) }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[len(s.vals)-1]
+}
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	Latency time.Duration
+	// Fraction of observations ≤ Latency, in [0,1].
+	Fraction float64
+}
+
+// CDF returns the empirical CDF sampled at up to points evenly spaced
+// ranks, suitable for plotting the latency distributions of Figures 3,
+// 4 and 6.
+func (s *Sample) CDF(points int) []CDFPoint {
+	if len(s.vals) == 0 || points <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	if points > len(s.vals) {
+		points = len(s.vals)
+	}
+	out := make([]CDFPoint, 0, points)
+	for p := 1; p <= points; p++ {
+		rank := p*len(s.vals)/points - 1
+		if rank < 0 {
+			rank = 0
+		}
+		out = append(out, CDFPoint{
+			Latency:  s.vals[rank],
+			Fraction: float64(rank+1) / float64(len(s.vals)),
+		})
+	}
+	return out
+}
+
+// String summarizes the sample for logs.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%v p95=%v max=%v", s.Count(), s.Mean(), s.P95(), s.Max())
+}
+
+// MeanDuration averages a plain duration slice; it returns 0 for an
+// empty slice.
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range ds {
+		sum += float64(d)
+	}
+	return time.Duration(sum / float64(len(ds)))
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Count() != 0 || s.Mean() != 0 || s.P95() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var s Sample
+	s.AddAll([]time.Duration{ms(10), ms(20), ms(30)})
+	if got := s.Mean(); got != ms(20) {
+		t.Errorf("Mean = %v, want 20ms", got)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(ms(i))
+	}
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, ms(1)},
+		{0.5, ms(50)},
+		{0.95, ms(95)},
+		{1, ms(100)},
+	}
+	for _, tt := range tests {
+		if got := s.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	var s Sample
+	s.AddAll([]time.Duration{ms(30), ms(10), ms(20)})
+	if got := s.Min(); got != ms(10) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != ms(30) {
+		t.Errorf("Max = %v", got)
+	}
+	s.Add(ms(5)) // adding after sorting must re-sort
+	if got := s.Min(); got != ms(5) {
+		t.Errorf("Min after re-add = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(ms(10))
+	b.Add(ms(30))
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != ms(20) {
+		t.Errorf("after merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	var s Sample
+	for i := 100; i >= 1; i-- {
+		s.Add(ms(i))
+	}
+	cdf := s.CDF(20)
+	if len(cdf) != 20 {
+		t.Fatalf("CDF points = %d, want 20", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Latency < cdf[i-1].Latency || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Errorf("CDF not monotonic at %d: %+v then %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1 || last.Latency != ms(100) {
+		t.Errorf("CDF endpoint = %+v", last)
+	}
+}
+
+func TestCDFFewerSamplesThanPoints(t *testing.T) {
+	var s Sample
+	s.AddAll([]time.Duration{ms(1), ms(2)})
+	cdf := s.CDF(50)
+	if len(cdf) != 2 {
+		t.Errorf("CDF len = %d, want 2", len(cdf))
+	}
+}
+
+// Quantiles stay within [min, max] and are monotonic in q.
+func TestQuantileBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		prev := s.Quantile(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+			cur := s.Quantile(q)
+			if cur < prev || cur < s.Min() || cur > s.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Error("MeanDuration(nil) != 0")
+	}
+	if got := MeanDuration([]time.Duration{ms(1), ms(3)}); got != ms(2) {
+		t.Errorf("MeanDuration = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(ms(10))
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

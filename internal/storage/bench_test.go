@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"clockrsm/internal/types"
+)
+
+func benchEntry(i int, payload []byte) Entry {
+	return Entry{
+		Kind: KindPrepare,
+		TS:   types.Timestamp{Wall: int64(i), Node: types.ReplicaID(i % 5)},
+		Cmd: types.Command{
+			ID:      types.CommandID{Origin: types.ReplicaID(i % 5), Seq: uint64(i)},
+			Payload: payload,
+		},
+	}
+}
+
+func BenchmarkMemLogAppend(b *testing.B) {
+	l := NewMemLog()
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchEntry(i, payload))
+		// Periodic checkpoint keeps the benchmark steady-state, as the
+		// protocols do in long runs.
+		if i%100_000 == 99_999 {
+			l.WriteCheckpoint(Checkpoint{TS: types.Timestamp{Wall: int64(i)}, State: nil})
+		}
+	}
+}
+
+func BenchmarkNullLogAppend(b *testing.B) {
+	l := NewNullLog()
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchEntry(i, payload))
+	}
+}
+
+func BenchmarkFileLogAppend(b *testing.B) {
+	l, err := OpenFileLog(filepath.Join(b.TempDir(), "log.bin"), FileLogOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchEntry(i, payload))
+	}
+}
+
+func BenchmarkCommittedCommandsReplay(b *testing.B) {
+	l := NewMemLog()
+	for i := 0; i < 10_000; i++ {
+		e := benchEntry(i, []byte("v"))
+		l.Append(e)
+		l.Append(Entry{Kind: KindCommit, TS: e.TS})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		committed, _ := CommittedCommands(l)
+		if len(committed) != 10_000 {
+			b.Fatal("bad replay")
+		}
+	}
+}

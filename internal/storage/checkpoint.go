@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"clockrsm/internal/types"
+)
+
+// Checkpoint is a state-machine snapshot taken at a commit boundary:
+// State is the serialized application state after executing every
+// command with timestamp ≤ TS.
+type Checkpoint struct {
+	TS    types.Timestamp
+	State []byte
+}
+
+// Checkpointer is implemented by logs that support compaction: the
+// committed prefix up to a checkpoint is replaced by the snapshot,
+// bounding log growth and speeding up recovery (Section V-B:
+// "Checkpointing can be used to avoid replaying the whole log").
+type Checkpointer interface {
+	// WriteCheckpoint installs a checkpoint and discards every log entry
+	// it covers: PREPARE and COMMIT entries with timestamp ≤ cp.TS.
+	// Entries with larger timestamps (including uncommitted PREPAREs)
+	// are retained.
+	WriteCheckpoint(cp Checkpoint) error
+	// LastCheckpoint returns the most recent checkpoint, if any.
+	LastCheckpoint() (Checkpoint, bool)
+}
+
+var (
+	_ Checkpointer = (*MemLog)(nil)
+	_ Checkpointer = (*FileLog)(nil)
+)
+
+// WriteCheckpoint implements Checkpointer.
+func (l *MemLog) WriteCheckpoint(cp Checkpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeCheckpoint(cp)
+	return nil
+}
+
+// writeCheckpoint compacts under the write lock.
+func (l *MemLog) writeCheckpoint(cp Checkpoint) {
+	l.checkpoint = cp
+	l.hasCheckpoint = true
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if e.TS.LessEq(cp.TS) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = Entry{}
+	}
+	// Re-home the survivors into a right-sized backing array so the old
+	// (large) array can be collected.
+	if cap(l.entries) > 4*(len(kept)+16) {
+		fresh := make([]Entry, len(kept))
+		copy(fresh, kept)
+		l.entries = fresh
+	} else {
+		l.entries = kept
+	}
+	if l.lastCTS.Less(cp.TS) {
+		l.lastCTS = cp.TS
+	}
+}
+
+// LastCheckpoint implements Checkpointer.
+func (l *MemLog) LastCheckpoint() (Checkpoint, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.checkpoint, l.hasCheckpoint
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"clockrsm/internal/types"
+)
+
+func TestMemLogCheckpointCompacts(t *testing.T) {
+	l := NewMemLog()
+	l.Append(prepare(10, 0, "a"))
+	l.Append(commit(10, 0))
+	l.Append(prepare(20, 1, "b"))
+	l.Append(commit(20, 1))
+	l.Append(prepare(30, 2, "dangling"))
+
+	if err := l.WriteCheckpoint(Checkpoint{TS: ts(20, 1), State: []byte("snap")}); err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := l.LastCheckpoint()
+	if !ok || cp.TS != ts(20, 1) || string(cp.State) != "snap" {
+		t.Fatalf("LastCheckpoint = %+v, %v", cp, ok)
+	}
+	// Entries ≤ checkpoint are gone, the dangling prepare survives.
+	if l.HasPrepare(ts(10, 0)) || l.HasPrepare(ts(20, 1)) {
+		t.Error("compacted entries still present")
+	}
+	if !l.HasPrepare(ts(30, 2)) {
+		t.Error("entry above checkpoint was dropped")
+	}
+	// Commit frontier is preserved by the checkpoint.
+	if got := l.LastCommitTS(); got != ts(20, 1) {
+		t.Errorf("LastCommitTS = %v, want 20@r1", got)
+	}
+	// Appends continue normally.
+	l.Append(commit(30, 2))
+	if got := l.LastCommitTS(); got != ts(30, 2) {
+		t.Errorf("LastCommitTS after append = %v", got)
+	}
+}
+
+func TestNoCheckpointInitially(t *testing.T) {
+	l := NewMemLog()
+	if _, ok := l.LastCheckpoint(); ok {
+		t.Error("fresh log has a checkpoint")
+	}
+}
+
+func TestFileLogCheckpointSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	l, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(prepare(10, 0, "a"))
+	l.Append(commit(10, 0))
+	if err := l.WriteCheckpoint(Checkpoint{TS: ts(10, 0), State: []byte("state-1")}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint appends land after the checkpoint record.
+	l.Append(prepare(20, 1, "b"))
+	l.Append(commit(20, 1))
+	l.Close()
+
+	l2, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	cp, ok := l2.LastCheckpoint()
+	if !ok || cp.TS != ts(10, 0) || string(cp.State) != "state-1" {
+		t.Fatalf("checkpoint after reopen = %+v, %v", cp, ok)
+	}
+	if l2.HasPrepare(ts(10, 0)) {
+		t.Error("compacted entry reappeared after reopen")
+	}
+	if !l2.HasPrepare(ts(20, 1)) {
+		t.Error("post-checkpoint entry lost")
+	}
+	committed, _ := CommittedCommands(l2)
+	if len(committed) != 1 || committed[0].TS != ts(20, 1) {
+		t.Errorf("tail replay = %+v", committed)
+	}
+}
+
+func TestCheckpointShrinksBacking(t *testing.T) {
+	l := NewMemLog()
+	for i := int64(1); i <= 10_000; i++ {
+		l.Append(prepare(i, 0, "x"))
+		l.Append(commit(i, 0))
+	}
+	if err := l.WriteCheckpoint(Checkpoint{TS: ts(10_000, 0), State: []byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len after full compaction = %d", l.Len())
+	}
+	if cap(l.entries) > 1024 {
+		t.Errorf("backing array not released: cap=%d", cap(l.entries))
+	}
+}
+
+func TestNullLog(t *testing.T) {
+	l := NewNullLog()
+	if err := l.Append(prepare(10, 0, "a")); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(commit(10, 0))
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if got := l.LastCommitTS(); got != ts(10, 0) {
+		t.Errorf("LastCommitTS = %v", got)
+	}
+	if l.Entries() != nil || l.HasPrepare(ts(10, 0)) {
+		t.Error("NullLog retained entries")
+	}
+	if l.CommandsAfter(types.Timestamp{}) != nil {
+		t.Error("NullLog returned commands")
+	}
+	if err := l.RemovePrepares(ts(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package storage
+
+import "os"
+
+// Small wrappers so tests read naturally.
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

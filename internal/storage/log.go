@@ -1,0 +1,245 @@
+// Package storage implements the stable command log required by the
+// protocols (Section II-A: "Processes have access to stable storage,
+// which survives failures"). Clock-RSM appends two kinds of entries:
+// PREPARE entries carrying a command with its timestamp, and COMMIT
+// marks carrying a timestamp only. COMMIT marks appear in timestamp
+// order; PREPARE entries need not (Section V-B).
+//
+// Two implementations are provided: an in-memory log (the configuration
+// used for the paper's throughput experiments, which "log commands to
+// main memory") and a file-backed log used by the recovery tests.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+)
+
+// Kind discriminates log entry kinds.
+type Kind uint8
+
+// Log entry kinds.
+const (
+	// KindPrepare is a 〈PREPARE cmd, ts〉 entry.
+	KindPrepare Kind = iota + 1
+	// KindCommit is a 〈COMMIT ts〉 commit mark.
+	KindCommit
+)
+
+// String names the entry kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPrepare:
+		return "PREPARE"
+	case KindCommit:
+		return "COMMIT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one record of the stable log.
+type Entry struct {
+	Kind Kind
+	TS   types.Timestamp
+	// Cmd is set for KindPrepare entries only.
+	Cmd types.Command
+}
+
+// Log is the stable storage abstraction shared by all protocols.
+// Implementations must be safe for concurrent use.
+type Log interface {
+	// Append durably adds an entry at the tail of the log.
+	Append(Entry) error
+	// Len returns the number of entries.
+	Len() int
+	// Entries returns a copy of all entries in append order.
+	Entries() []Entry
+	// LastCommitTS returns the timestamp of the last COMMIT mark, or the
+	// zero timestamp if none exists. Because commit marks are appended in
+	// timestamp order, this is also the largest committed timestamp.
+	LastCommitTS() types.Timestamp
+	// CommandsAfter returns all PREPARE entries with timestamp strictly
+	// greater than ts, sorted by timestamp (Alg. 3 line 9).
+	CommandsAfter(ts types.Timestamp) []msg.TimestampedCommand
+	// CommandsBetween returns all PREPARE entries with from < ts ≤ to,
+	// sorted by timestamp (Alg. 3 line 30).
+	CommandsBetween(from, to types.Timestamp) []msg.TimestampedCommand
+	// HasPrepare reports whether a PREPARE entry with the given timestamp
+	// exists (Alg. 3 line 17).
+	HasPrepare(ts types.Timestamp) bool
+	// RemovePrepares deletes every PREPARE entry with timestamp strictly
+	// greater than ts that has no corresponding COMMIT mark (Alg. 3 line
+	// 15: uncommitted means not executed).
+	RemovePrepares(after types.Timestamp) error
+	// Close releases any resources held by the log.
+	Close() error
+}
+
+// MemLog is an in-memory Log. Appends are the replication hot path and
+// cost one slice append; the query methods — used only by
+// reconfiguration, state transfer and recovery — scan the log.
+type MemLog struct {
+	mu      sync.RWMutex
+	entries []Entry
+	lastCTS types.Timestamp
+
+	checkpoint    Checkpoint
+	hasCheckpoint bool
+}
+
+var _ Log = (*MemLog)(nil)
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog {
+	return &MemLog{}
+}
+
+// Append implements Log.
+func (l *MemLog) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.append(e)
+	return nil
+}
+
+// append adds an entry while holding the lock.
+func (l *MemLog) append(e Entry) {
+	if e.Kind == KindCommit && l.lastCTS.Less(e.TS) {
+		l.lastCTS = e.TS
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Len implements Log.
+func (l *MemLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Entries implements Log.
+func (l *MemLog) Entries() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// LastCommitTS implements Log.
+func (l *MemLog) LastCommitTS() types.Timestamp {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastCTS
+}
+
+// CommandsAfter implements Log.
+func (l *MemLog) CommandsAfter(ts types.Timestamp) []msg.TimestampedCommand {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.collect(func(t types.Timestamp) bool { return ts.Less(t) })
+}
+
+// CommandsBetween implements Log.
+func (l *MemLog) CommandsBetween(from, to types.Timestamp) []msg.TimestampedCommand {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.collect(func(t types.Timestamp) bool { return from.Less(t) && t.LessEq(to) })
+}
+
+// collect gathers PREPARE entries matching pred, sorted by timestamp,
+// deduplicating repeated timestamps. Callers must hold at least a read
+// lock.
+func (l *MemLog) collect(pred func(types.Timestamp) bool) []msg.TimestampedCommand {
+	var out []msg.TimestampedCommand
+	seen := make(map[types.Timestamp]bool)
+	for _, e := range l.entries {
+		if e.Kind == KindPrepare && pred(e.TS) && !seen[e.TS] {
+			seen[e.TS] = true
+			out = append(out, msg.TimestampedCommand{TS: e.TS, Cmd: e.Cmd})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS.Less(out[j].TS) })
+	return out
+}
+
+// HasPrepare implements Log.
+func (l *MemLog) HasPrepare(ts types.Timestamp) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, e := range l.entries {
+		if e.Kind == KindPrepare && e.TS == ts {
+			return true
+		}
+	}
+	return false
+}
+
+// RemovePrepares implements Log.
+func (l *MemLog) RemovePrepares(after types.Timestamp) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.removePrepares(after)
+	return nil
+}
+
+// removePrepares rewrites the log without uncommitted PREPAREs newer than
+// after. Callers must hold the write lock.
+func (l *MemLog) removePrepares(after types.Timestamp) {
+	committed := make(map[types.Timestamp]bool)
+	for _, e := range l.entries {
+		if e.Kind == KindCommit {
+			committed[e.TS] = true
+		}
+	}
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if e.Kind == KindPrepare && after.Less(e.TS) && !committed[e.TS] {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so dropped commands can be collected.
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = Entry{}
+	}
+	l.entries = kept
+}
+
+// Close implements Log.
+func (l *MemLog) Close() error { return nil }
+
+// CommittedCommands replays a log per Section V-B: PREPARE entries are
+// staged in a table indexed by timestamp; each COMMIT mark executes the
+// matching command. It returns the committed commands in execution
+// (timestamp) order, plus the PREPARE entries left without a COMMIT mark.
+// Entries covered by a checkpoint are gone from the log; recovery
+// restores the checkpoint first (see rsm.App) and replays only the tail
+// this function returns.
+func CommittedCommands(l Log) (committed []msg.TimestampedCommand, dangling []msg.TimestampedCommand) {
+	staged := make(map[types.Timestamp]types.Command)
+	for _, e := range l.Entries() {
+		switch e.Kind {
+		case KindPrepare:
+			staged[e.TS] = e.Cmd
+		case KindCommit:
+			if cmd, ok := staged[e.TS]; ok {
+				committed = append(committed, msg.TimestampedCommand{TS: e.TS, Cmd: cmd})
+				delete(staged, e.TS)
+			}
+		}
+	}
+	for ts, cmd := range staged {
+		dangling = append(dangling, msg.TimestampedCommand{TS: ts, Cmd: cmd})
+	}
+	sort.Slice(dangling, func(i, j int) bool { return dangling[i].TS.Less(dangling[j].TS) })
+	// COMMIT marks are appended in timestamp order, so committed is
+	// already sorted; sort anyway to be robust to corrupt logs.
+	sort.Slice(committed, func(i, j int) bool { return committed[i].TS.Less(committed[j].TS) })
+	return committed, dangling
+}

@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"sync"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+)
+
+// NullLog is a Log that acknowledges appends without retaining entries,
+// tracking only the commit frontier. It models the paper's throughput
+// configuration, where logging must not become the bottleneck and
+// recovery is out of scope; a replica backed by a NullLog cannot serve
+// state transfers or recover.
+type NullLog struct {
+	mu      sync.Mutex
+	count   int
+	lastCTS types.Timestamp
+}
+
+var _ Log = (*NullLog)(nil)
+
+// NewNullLog returns an empty NullLog.
+func NewNullLog() *NullLog { return &NullLog{} }
+
+// Append implements Log.
+func (l *NullLog) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	if e.Kind == KindCommit && l.lastCTS.Less(e.TS) {
+		l.lastCTS = e.TS
+	}
+	return nil
+}
+
+// Len implements Log: the number of appends accepted.
+func (l *NullLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Entries implements Log; a NullLog retains nothing.
+func (l *NullLog) Entries() []Entry { return nil }
+
+// LastCommitTS implements Log.
+func (l *NullLog) LastCommitTS() types.Timestamp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastCTS
+}
+
+// CommandsAfter implements Log; a NullLog retains nothing.
+func (l *NullLog) CommandsAfter(types.Timestamp) []msg.TimestampedCommand { return nil }
+
+// CommandsBetween implements Log; a NullLog retains nothing.
+func (l *NullLog) CommandsBetween(_, _ types.Timestamp) []msg.TimestampedCommand { return nil }
+
+// HasPrepare implements Log; a NullLog retains nothing.
+func (l *NullLog) HasPrepare(types.Timestamp) bool { return false }
+
+// RemovePrepares implements Log; nothing to remove.
+func (l *NullLog) RemovePrepares(types.Timestamp) error { return nil }
+
+// Close implements Log.
+func (l *NullLog) Close() error { return nil }

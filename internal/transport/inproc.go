@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// HubOptions configure an in-process hub.
+type HubOptions struct {
+	// Latency, when non-nil, delays each message by the matrix's one-way
+	// latency, emulating a WAN deployment in real time.
+	Latency *wan.Matrix
+	// Codec forces every message through the binary codec
+	// (encode+decode), charging realistic serialization CPU cost. The
+	// throughput study enables this so message size matters as it does
+	// on a real network stack.
+	Codec bool
+	// QueueLen is the per-endpoint inbox capacity (default 4096). A full
+	// inbox applies backpressure to senders.
+	QueueLen int
+}
+
+// delivery is one in-flight message.
+type delivery struct {
+	from types.ReplicaID
+	m    msg.Message
+	due  time.Time
+}
+
+// Hub connects N in-process endpoints.
+type Hub struct {
+	opts HubOptions
+	eps  []*inprocEndpoint
+}
+
+// NewHub creates a hub with n endpoints.
+func NewHub(n int, opts HubOptions) *Hub {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 4096
+	}
+	h := &Hub{opts: opts}
+	for i := 0; i < n; i++ {
+		h.eps = append(h.eps, &inprocEndpoint{
+			hub:   h,
+			self:  types.ReplicaID(i),
+			inbox: make(chan delivery, opts.QueueLen),
+			quit:  make(chan struct{}),
+		})
+	}
+	return h
+}
+
+// Endpoint returns the transport for replica id.
+func (h *Hub) Endpoint(id types.ReplicaID) Transport { return h.eps[id] }
+
+// Close shuts down every endpoint.
+func (h *Hub) Close() {
+	for _, ep := range h.eps {
+		ep.Close()
+	}
+}
+
+// inprocEndpoint is one replica's view of the hub.
+type inprocEndpoint struct {
+	hub     *Hub
+	self    types.ReplicaID
+	handler Handler
+	inbox   chan delivery
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	quit    chan struct{}
+	done    chan struct{}
+}
+
+var _ Transport = (*inprocEndpoint)(nil)
+
+// Self implements Transport.
+func (e *inprocEndpoint) Self() types.ReplicaID { return e.self }
+
+// SetHandler implements Transport.
+func (e *inprocEndpoint) SetHandler(h Handler) { e.handler = h }
+
+// Start implements Transport: it launches the delivery loop.
+func (e *inprocEndpoint) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("inproc endpoint %v already started", e.self)
+	}
+	if e.handler == nil {
+		return fmt.Errorf("inproc endpoint %v has no handler", e.self)
+	}
+	e.started = true
+	e.done = make(chan struct{})
+	go e.run()
+	return nil
+}
+
+// run delivers inbox messages in order, honoring per-message due times
+// (all due times on one inbox are non-decreasing only per sender; a
+// cross-sender inversion sleeps the small difference, which is the same
+// behaviour a kernel socket would give).
+func (e *inprocEndpoint) run() {
+	defer close(e.done)
+	for {
+		select {
+		case <-e.quit:
+			return
+		case d := <-e.inbox:
+			if !d.due.IsZero() {
+				if wait := time.Until(d.due); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-e.quit:
+						return
+					}
+				}
+			}
+			e.handler(d.from, d.m)
+		}
+	}
+}
+
+// Send implements Transport.
+func (e *inprocEndpoint) Send(to types.ReplicaID, m msg.Message) {
+	dst := e.hub.eps[to]
+	if e.hub.opts.Codec {
+		// Round-trip through the codec to charge serialization cost and
+		// guarantee no state is shared across replicas.
+		decoded, err := msg.Decode(msg.Encode(m))
+		if err != nil {
+			return // undecodable message: drop, like a corrupt frame
+		}
+		m = decoded
+	}
+	d := delivery{from: e.self, m: m}
+	if lat := e.hub.opts.Latency; lat != nil {
+		d.due = time.Now().Add(lat.OneWay(e.self, to))
+	}
+	select {
+	case dst.inbox <- d:
+	case <-dst.quit:
+	}
+}
+
+// Close implements Transport.
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	close(e.quit)
+	if e.done != nil {
+		<-e.done
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+)
+
+// maxFrame bounds a single wire frame (64 MiB); larger frames indicate
+// corruption and kill the connection.
+const maxFrame = 64 << 20
+
+// TCPOptions configure a TCP endpoint.
+type TCPOptions struct {
+	// DialRetry is the backoff between reconnect attempts (default 1s).
+	DialRetry time.Duration
+	// OutboxLen is the per-peer send queue capacity (default 4096);
+	// a full queue drops messages, matching best-effort semantics.
+	OutboxLen int
+}
+
+// TCPEndpoint is a Transport over TCP with length-prefixed frames.
+// Each endpoint listens on its own address and lazily dials peers;
+// frames carry a 4-byte length followed by the encoded message, and
+// every connection begins with a 4-byte handshake naming the sender.
+type TCPEndpoint struct {
+	self    types.ReplicaID
+	addrs   map[types.ReplicaID]string
+	opts    TCPOptions
+	handler Handler
+
+	ln net.Listener
+
+	mu    sync.Mutex
+	peers map[types.ReplicaID]*tcpPeer
+	conns map[net.Conn]struct{}
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closed bool
+}
+
+var _ Transport = (*TCPEndpoint)(nil)
+
+// tcpPeer is an outgoing connection with its queue and writer.
+type tcpPeer struct {
+	outbox chan []byte
+}
+
+// NewTCP creates a TCP endpoint for replica self; addrs maps every
+// replica (including self) to its listen address.
+func NewTCP(self types.ReplicaID, addrs map[types.ReplicaID]string, opts TCPOptions) *TCPEndpoint {
+	if opts.DialRetry <= 0 {
+		opts.DialRetry = time.Second
+	}
+	if opts.OutboxLen <= 0 {
+		opts.OutboxLen = 4096
+	}
+	return &TCPEndpoint{
+		self:  self,
+		addrs: addrs,
+		opts:  opts,
+		peers: make(map[types.ReplicaID]*tcpPeer),
+		conns: make(map[net.Conn]struct{}),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Self implements Transport.
+func (t *TCPEndpoint) Self() types.ReplicaID { return t.self }
+
+// SetHandler implements Transport.
+func (t *TCPEndpoint) SetHandler(h Handler) { t.handler = h }
+
+// Addr returns the bound listen address (useful with ":0" test
+// listeners). Valid after Start.
+func (t *TCPEndpoint) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Start implements Transport: it binds the listen socket and begins
+// accepting peer connections.
+func (t *TCPEndpoint) Start() error {
+	if t.handler == nil {
+		return fmt.Errorf("tcp endpoint %v has no handler", t.self)
+	}
+	ln, err := net.Listen("tcp", t.addrs[t.self])
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", t.addrs[t.self], err)
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per
+// connection.
+func (t *TCPEndpoint) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !t.track(conn) {
+			conn.Close()
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one inbound connection.
+func (t *TCPEndpoint) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(conn)
+	var hs [4]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	from := types.ReplicaID(int32(binary.LittleEndian.Uint32(hs[:])))
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		m, err := msg.Decode(frame)
+		if err != nil {
+			return // corrupt stream: drop the connection
+		}
+		select {
+		case <-t.quit:
+			return
+		default:
+		}
+		t.handler(from, m)
+	}
+}
+
+// Send implements Transport.
+func (t *TCPEndpoint) Send(to types.ReplicaID, m msg.Message) {
+	body := msg.Encode(m)
+	frame := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		p = &tcpPeer{outbox: make(chan []byte, t.opts.OutboxLen)}
+		t.peers[to] = p
+		t.wg.Add(1)
+		go t.writeLoop(to, p)
+	}
+	t.mu.Unlock()
+
+	select {
+	case p.outbox <- frame:
+	default:
+		// Queue full: drop. The protocols tolerate message loss.
+	}
+}
+
+// writeLoop owns the outgoing connection to one peer, redialing with
+// backoff on failure.
+func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			t.untrack(conn)
+		}
+	}()
+	for {
+		var frame []byte
+		select {
+		case <-t.quit:
+			return
+		case frame = <-p.outbox:
+		}
+		for {
+			if conn == nil {
+				c, err := net.Dial("tcp", t.addrs[to])
+				if err != nil {
+					select {
+					case <-t.quit:
+						return
+					case <-time.After(t.opts.DialRetry):
+						continue
+					}
+				}
+				var hs [4]byte
+				binary.LittleEndian.PutUint32(hs[:], uint32(int32(t.self)))
+				if _, err := c.Write(hs[:]); err != nil {
+					c.Close()
+					continue
+				}
+				if !t.track(c) {
+					c.Close()
+					return
+				}
+				conn = c
+			}
+			if _, err := conn.Write(frame); err != nil {
+				t.untrack(conn)
+				conn = nil
+				continue // redial and retry this frame
+			}
+			break
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *TCPEndpoint) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.quit)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	// Unblock reader goroutines parked on open connections.
+	t.mu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// track registers a live connection; it returns false if the endpoint
+// is closing (the caller must close the connection itself).
+func (t *TCPEndpoint) track(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+// untrack closes and forgets a connection.
+func (t *TCPEndpoint) untrack(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+	c.Close()
+}

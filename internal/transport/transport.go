@@ -1,0 +1,30 @@
+// Package transport provides the real-runtime message transports for
+// replica nodes: an in-process transport with optional WAN latency
+// emulation (used by the throughput study and the examples) and a TCP
+// transport with length-prefixed frames (used by the server binaries).
+package transport
+
+import (
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+)
+
+// Handler receives messages delivered to a replica.
+type Handler func(from types.ReplicaID, m msg.Message)
+
+// Transport moves protocol messages between replicas. Send is
+// asynchronous and best-effort: delivery failures surface as silence,
+// matching the asynchronous system model (Section II-A).
+type Transport interface {
+	// Self returns the replica this transport endpoint belongs to.
+	Self() types.ReplicaID
+	// SetHandler installs the delivery callback; it must be called
+	// before Start.
+	SetHandler(h Handler)
+	// Send transmits m to another replica.
+	Send(to types.ReplicaID, m msg.Message)
+	// Start begins delivering messages.
+	Start() error
+	// Close stops the endpoint and releases resources.
+	Close() error
+}

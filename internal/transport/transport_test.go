@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// collector accumulates deliveries thread-safely.
+type collector struct {
+	mu    sync.Mutex
+	from  []types.ReplicaID
+	slots []uint64
+	times []time.Time
+}
+
+func (c *collector) handler() Handler {
+	return func(from types.ReplicaID, m msg.Message) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.from = append(c.from, from)
+		if cm, ok := m.(*msg.Commit); ok {
+			c.slots = append(c.slots, cm.Slot)
+		}
+		c.times = append(c.times, time.Now())
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.from)
+}
+
+func waitFor(t *testing.T, pred func() bool, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestInprocDelivery(t *testing.T) {
+	h := NewHub(2, HubOptions{})
+	defer h.Close()
+	col := &collector{}
+	h.Endpoint(1).SetHandler(col.handler())
+	h.Endpoint(0).SetHandler(func(types.ReplicaID, msg.Message) {})
+	if err := h.Endpoint(0).Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Endpoint(1).Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		h.Endpoint(0).Send(1, &msg.Commit{Slot: i})
+	}
+	waitFor(t, func() bool { return col.count() == 100 }, time.Second)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for i, s := range col.slots {
+		if s != uint64(i) {
+			t.Fatalf("FIFO violated at %d: %v", i, s)
+		}
+	}
+}
+
+func TestInprocStartErrors(t *testing.T) {
+	h := NewHub(1, HubOptions{})
+	defer h.Close()
+	if err := h.Endpoint(0).Start(); err == nil {
+		t.Error("Start without handler succeeded")
+	}
+	h.Endpoint(0).SetHandler(func(types.ReplicaID, msg.Message) {})
+	if err := h.Endpoint(0).Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Endpoint(0).Start(); err == nil {
+		t.Error("double Start succeeded")
+	}
+}
+
+func TestInprocCodecIsolation(t *testing.T) {
+	h := NewHub(2, HubOptions{Codec: true})
+	defer h.Close()
+	var got *msg.Prepare
+	var mu sync.Mutex
+	h.Endpoint(1).SetHandler(func(from types.ReplicaID, m msg.Message) {
+		mu.Lock()
+		got = m.(*msg.Prepare)
+		mu.Unlock()
+	})
+	h.Endpoint(0).SetHandler(func(types.ReplicaID, msg.Message) {})
+	h.Endpoint(0).Start()
+	h.Endpoint(1).Start()
+
+	sent := &msg.Prepare{TS: types.Timestamp{Wall: 1}, Cmd: types.Command{Payload: []byte("abc")}}
+	h.Endpoint(0).Send(1, sent)
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return got != nil }, time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if got == sent {
+		t.Error("codec mode shared the message pointer")
+	}
+	sent.Cmd.Payload[0] = 'x'
+	if string(got.Cmd.Payload) != "abc" {
+		t.Error("codec mode shared the payload buffer")
+	}
+}
+
+func TestInprocLatencyEmulation(t *testing.T) {
+	lat := wan.NewMatrix(2)
+	lat.Set(0, 1, 30*time.Millisecond)
+	h := NewHub(2, HubOptions{Latency: lat})
+	defer h.Close()
+	col := &collector{}
+	h.Endpoint(1).SetHandler(col.handler())
+	h.Endpoint(0).SetHandler(func(types.ReplicaID, msg.Message) {})
+	h.Endpoint(0).Start()
+	h.Endpoint(1).Start()
+
+	start := time.Now()
+	h.Endpoint(0).Send(1, &msg.Commit{Slot: 1})
+	waitFor(t, func() bool { return col.count() == 1 }, time.Second)
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want ≥ ~30ms", d)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addrs := map[types.ReplicaID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	a := NewTCP(0, addrs, TCPOptions{DialRetry: 50 * time.Millisecond})
+	b := NewTCP(1, addrs, TCPOptions{DialRetry: 50 * time.Millisecond})
+	colA, colB := &collector{}, &collector{}
+	a.SetHandler(colA.handler())
+	b.SetHandler(colB.handler())
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Rewire with the actually-bound ports.
+	addrs[0] = a.Addr()
+	addrs[1] = b.Addr()
+
+	for i := uint64(0); i < 50; i++ {
+		a.Send(1, &msg.Commit{Slot: i})
+	}
+	waitFor(t, func() bool { return colB.count() == 50 }, 5*time.Second)
+	colB.mu.Lock()
+	for i, s := range colB.slots {
+		if s != uint64(i) {
+			t.Fatalf("TCP FIFO violated at %d", i)
+		}
+		if colB.from[i] != 0 {
+			t.Fatalf("wrong sender %v", colB.from[i])
+		}
+	}
+	colB.mu.Unlock()
+
+	// And the reverse direction.
+	b.Send(0, &msg.Commit{Slot: 99})
+	waitFor(t, func() bool { return colA.count() == 1 }, 5*time.Second)
+}
+
+func TestTCPSurvivesLatePeer(t *testing.T) {
+	addrs := map[types.ReplicaID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	a := NewTCP(0, addrs, TCPOptions{DialRetry: 20 * time.Millisecond})
+	a.SetHandler(func(types.ReplicaID, msg.Message) {})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	addrs[0] = a.Addr()
+
+	// Reserve a port for b, then send before b listens.
+	probe := NewTCP(1, addrs, TCPOptions{})
+	probe.SetHandler(func(types.ReplicaID, msg.Message) {})
+	if err := probe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrs[1] = probe.Addr()
+	probe.Close() // free the port but keep the address
+
+	a.Send(1, &msg.Commit{Slot: 7}) // peer down: must not wedge
+
+	col := &collector{}
+	b := NewTCP(1, addrs, TCPOptions{DialRetry: 20 * time.Millisecond})
+	b.SetHandler(col.handler())
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// The queued frame is retried once b's listener is up.
+	waitFor(t, func() bool { return col.count() >= 1 }, 5*time.Second)
+}

@@ -1,0 +1,106 @@
+// Package types defines the identifiers, timestamps and command types
+// shared by every replication protocol in this repository.
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ReplicaID identifies a replica within a replication group. IDs are dense
+// indexes assigned by the system specification (Spec): 0..N-1.
+type ReplicaID int
+
+// NoReplica is the zero-value sentinel for "no replica".
+const NoReplica ReplicaID = -1
+
+// String returns the conventional r<k> rendering used in the paper.
+func (r ReplicaID) String() string {
+	if r == NoReplica {
+		return "r?"
+	}
+	return "r" + strconv.Itoa(int(r))
+}
+
+// Timestamp is the total-order key assigned to commands by Clock-RSM.
+// Wall is a physical clock reading in nanoseconds; ties between replicas
+// are resolved by the originating replica's ID (Section III-B, step 1).
+type Timestamp struct {
+	Wall int64
+	Node ReplicaID
+}
+
+// Less reports whether t orders strictly before o: first by wall-clock
+// time, then by replica ID.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Wall != o.Wall {
+		return t.Wall < o.Wall
+	}
+	return t.Node < o.Node
+}
+
+// LessEq reports whether t orders before or equal to o.
+func (t Timestamp) LessEq(o Timestamp) bool { return !o.Less(t) }
+
+// Compare returns -1, 0, or +1 as t orders before, equal to, or after o.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether t is the zero timestamp.
+func (t Timestamp) IsZero() bool { return t.Wall == 0 && t.Node == 0 }
+
+// String renders the timestamp as wall@node.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d@%s", t.Wall, t.Node)
+}
+
+// CommandID uniquely identifies a client command within its originating
+// replica. The pair (Origin, Seq) is globally unique.
+type CommandID struct {
+	Origin ReplicaID
+	Seq    uint64
+}
+
+// String renders the command ID as origin/seq.
+func (c CommandID) String() string {
+	return fmt.Sprintf("%s/%d", c.Origin, c.Seq)
+}
+
+// Command is an opaque state-machine command submitted by a client. The
+// replication layer never interprets Payload; it is handed to the state
+// machine on execution.
+type Command struct {
+	ID      CommandID
+	Payload []byte
+}
+
+// Clone returns a deep copy of the command so callers may mutate their
+// buffer after submission.
+func (c Command) Clone() Command {
+	p := make([]byte, len(c.Payload))
+	copy(p, c.Payload)
+	return Command{ID: c.ID, Payload: p}
+}
+
+// Result is the output produced by executing a command against the state
+// machine, delivered back to the originating client.
+type Result struct {
+	ID    CommandID
+	Value []byte
+}
+
+// Epoch numbers configurations; it increases by one at every
+// reconfiguration (Section V-A).
+type Epoch uint64
+
+// Majority returns the size of a majority quorum out of n replicas:
+// floor(n/2)+1.
+func Majority(n int) int { return n/2 + 1 }

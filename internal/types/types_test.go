@@ -1,0 +1,131 @@
+package types
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestReplicaIDString(t *testing.T) {
+	tests := []struct {
+		id   ReplicaID
+		want string
+	}{
+		{0, "r0"},
+		{3, "r3"},
+		{NoReplica, "r?"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("ReplicaID(%d).String() = %q, want %q", int(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestTimestampLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Timestamp
+		want bool
+	}{
+		{"smaller wall", Timestamp{1, 2}, Timestamp{2, 0}, true},
+		{"larger wall", Timestamp{3, 0}, Timestamp{2, 9}, false},
+		{"equal wall smaller node", Timestamp{5, 1}, Timestamp{5, 2}, true},
+		{"equal wall larger node", Timestamp{5, 3}, Timestamp{5, 2}, false},
+		{"equal", Timestamp{5, 2}, Timestamp{5, 2}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%s: %v.Less(%v) = %v, want %v", tt.name, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTimestampLessEqAndCompare(t *testing.T) {
+	a := Timestamp{1, 0}
+	b := Timestamp{1, 1}
+	if !a.LessEq(b) || !a.LessEq(a) || b.LessEq(a) {
+		t.Errorf("LessEq inconsistent: a=%v b=%v", a, b)
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Errorf("Compare inconsistent: a=%v b=%v", a, b)
+	}
+}
+
+// Timestamp ordering must be a strict total order: exactly one of
+// a<b, b<a, a==b holds.
+func TestTimestampTotalOrderProperty(t *testing.T) {
+	f := func(aw, bw int64, an, bn uint8) bool {
+		a := Timestamp{Wall: aw, Node: ReplicaID(an)}
+		b := Timestamp{Wall: bw, Node: ReplicaID(bn)}
+		lt, gt, eq := a.Less(b), b.Less(a), a == b
+		n := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Transitivity of Less over random triples.
+func TestTimestampTransitivityProperty(t *testing.T) {
+	f := func(ws [3]int64, ns [3]uint8) bool {
+		ts := make([]Timestamp, 3)
+		for i := range ts {
+			ts[i] = Timestamp{Wall: ws[i] % 100, Node: ReplicaID(ns[i] % 4)}
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+		return !ts[1].Less(ts[0]) && !ts[2].Less(ts[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimestampIsZero(t *testing.T) {
+	if !(Timestamp{}).IsZero() {
+		t.Error("zero timestamp not IsZero")
+	}
+	if (Timestamp{Wall: 1}).IsZero() || (Timestamp{Node: 1}).IsZero() {
+		t.Error("non-zero timestamp reported IsZero")
+	}
+}
+
+func TestCommandClone(t *testing.T) {
+	orig := Command{ID: CommandID{Origin: 1, Seq: 7}, Payload: []byte("abc")}
+	cp := orig.Clone()
+	cp.Payload[0] = 'x'
+	if string(orig.Payload) != "abc" {
+		t.Errorf("Clone shares payload: orig=%q", orig.Payload)
+	}
+	if cp.ID != orig.ID {
+		t.Errorf("Clone changed ID: %v != %v", cp.ID, orig.ID)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {6, 4}, {7, 4},
+	}
+	for _, tt := range tests {
+		if got := Majority(tt.n); got != tt.want {
+			t.Errorf("Majority(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	ts := Timestamp{Wall: 42, Node: 3}
+	if ts.String() != "42@r3" {
+		t.Errorf("Timestamp.String() = %q", ts.String())
+	}
+	id := CommandID{Origin: 2, Seq: 9}
+	if id.String() != "r2/9" {
+		t.Errorf("CommandID.String() = %q", id.String())
+	}
+}

@@ -1,0 +1,221 @@
+// Package wan models wide-area network latencies between replicas placed
+// in different data centers. It carries the EC2 round-trip measurements
+// from Table III of the paper and the latency aggregation helpers
+// (median, max, two-hop) used by the analytical model in Section IV.
+package wan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"clockrsm/internal/types"
+)
+
+// Matrix holds symmetric one-way message latencies between N replicas.
+// d(i,i) is the intra-data-center one-way latency (typically ~0.3 ms).
+type Matrix struct {
+	n int
+	d [][]time.Duration
+}
+
+// NewMatrix returns an N×N matrix with every entry (including the
+// diagonal) set to zero.
+func NewMatrix(n int) *Matrix {
+	d := make([][]time.Duration, n)
+	for i := range d {
+		d[i] = make([]time.Duration, n)
+	}
+	return &Matrix{n: n, d: d}
+}
+
+// Size returns the number of replicas covered by the matrix.
+func (m *Matrix) Size() int { return m.n }
+
+// Set records the symmetric one-way latency between replicas i and j.
+func (m *Matrix) Set(i, j types.ReplicaID, d time.Duration) {
+	m.d[i][j] = d
+	m.d[j][i] = d
+}
+
+// OneWay returns the one-way latency d(i,j). The paper assumes symmetric
+// latencies: d(i,j) = d(j,i) (Section IV).
+func (m *Matrix) OneWay(i, j types.ReplicaID) time.Duration { return m.d[i][j] }
+
+// RTT returns the round-trip latency between i and j.
+func (m *Matrix) RTT(i, j types.ReplicaID) time.Duration { return 2 * m.d[i][j] }
+
+// Row returns a copy of the one-way latencies from replica i to every
+// replica (including itself).
+func (m *Matrix) Row(i types.ReplicaID) []time.Duration {
+	row := make([]time.Duration, m.n)
+	copy(row, m.d[i])
+	return row
+}
+
+// Median returns the median of the one-way latencies from i to all
+// replicas in the group, self included — the quantity
+// median({d(ri,rk) | ∀rk ∈ R}) from Section IV. For the odd group sizes
+// used throughout the paper this is the latency to the majority-th
+// closest replica.
+func (m *Matrix) Median(i types.ReplicaID) time.Duration {
+	return median(m.Row(i))
+}
+
+// Max returns max({d(ri,rk) | ∀rk ∈ R}): the one-way latency from i to
+// the farthest replica.
+func (m *Matrix) Max(i types.ReplicaID) time.Duration {
+	var mx time.Duration
+	for _, v := range m.d[i] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// TwoHopMedian returns median({d(rj,rk) + d(rk,ri) | ∀rk ∈ R}): the
+// median latency of the two-hop paths from j to i via every replica k.
+// This is the building block of the prefix-replication bound lc3 and of
+// the Paxos-bcast non-leader latency (Table II).
+func (m *Matrix) TwoHopMedian(j, i types.ReplicaID) time.Duration {
+	paths := make([]time.Duration, m.n)
+	for k := 0; k < m.n; k++ {
+		paths[k] = m.d[j][k] + m.d[k][i]
+	}
+	return median(paths)
+}
+
+// MaxTwoHopMedian returns
+// max({median({d(rj,rk)+d(rk,ri) | ∀rk ∈ R}) | ∀rj ∈ R}), the worst-case
+// prefix replication latency lc3^worst observed at replica i.
+func (m *Matrix) MaxTwoHopMedian(i types.ReplicaID) time.Duration {
+	var mx time.Duration
+	for j := 0; j < m.n; j++ {
+		if v := m.TwoHopMedian(types.ReplicaID(j), i); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// SubMatrix projects the matrix onto the given subset of replicas. The
+// returned matrix re-indexes replicas densely in the order given.
+func (m *Matrix) SubMatrix(ids []types.ReplicaID) *Matrix {
+	sub := NewMatrix(len(ids))
+	for a, i := range ids {
+		for b, j := range ids {
+			sub.d[a][b] = m.d[i][j]
+		}
+	}
+	return sub
+}
+
+// median returns the lower median (the ceil(n/2)-th smallest value, i.e.
+// element at index floor((n-1)/2) after sorting). For odd n this is the
+// true median; for even n it is the value a majority quorum must reach.
+func median(vals []time.Duration) time.Duration {
+	s := make([]time.Duration, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// Site names the EC2 regions used in the paper's evaluation.
+type Site int
+
+// EC2 sites from Table III.
+const (
+	CA Site = iota // California
+	VA             // Virginia
+	IR             // Ireland
+	JP             // Japan (Tokyo)
+	SG             // Singapore
+	AU             // Australia
+	BR             // Brazil (São Paulo)
+	numSites
+)
+
+var siteNames = [numSites]string{"CA", "VA", "IR", "JP", "SG", "AU", "BR"}
+
+// String returns the two-letter site code.
+func (s Site) String() string {
+	if s < 0 || s >= numSites {
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+	return siteNames[s]
+}
+
+// ParseSite resolves a two-letter site code; it returns an error for
+// unknown codes.
+func ParseSite(name string) (Site, error) {
+	for i, n := range siteNames {
+		if n == name {
+			return Site(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown EC2 site %q", name)
+}
+
+// AllSites lists the seven EC2 sites of Table III in paper order.
+func AllSites() []Site {
+	sites := make([]Site, numSites)
+	for i := range sites {
+		sites[i] = Site(i)
+	}
+	return sites
+}
+
+// ec2RTTms is the upper triangle of Table III: average round-trip
+// latencies in milliseconds between EC2 data centers.
+var ec2RTTms = map[[2]Site]int{
+	{CA, VA}: 83, {CA, IR}: 170, {CA, JP}: 125, {CA, SG}: 171, {CA, AU}: 187, {CA, BR}: 212,
+	{VA, IR}: 101, {VA, JP}: 215, {VA, SG}: 254, {VA, AU}: 220, {VA, BR}: 137,
+	{IR, JP}: 280, {IR, SG}: 216, {IR, AU}: 305, {IR, BR}: 216,
+	{JP, SG}: 77, {JP, AU}: 129, {JP, BR}: 368,
+	{SG, AU}: 188, {SG, BR}: 369,
+	{AU, BR}: 349,
+}
+
+// IntraDCRTT is the typical round trip within one EC2 data center
+// (Section VI-B: "The typical RTT in an EC2 data center is about 0.6ms").
+const IntraDCRTT = 600 * time.Microsecond
+
+// EC2RTT returns the measured round-trip latency between two sites from
+// Table III; for a==b it returns IntraDCRTT.
+func EC2RTT(a, b Site) time.Duration {
+	if a == b {
+		return IntraDCRTT
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return time.Duration(ec2RTTms[[2]Site{a, b}]) * time.Millisecond
+}
+
+// EC2Matrix builds a one-way latency matrix for replicas placed at the
+// given sites (replica k at sites[k]). One-way latency is RTT/2, matching
+// the symmetric-latency assumption of Section IV.
+func EC2Matrix(sites []Site) *Matrix {
+	m := NewMatrix(len(sites))
+	for i := range sites {
+		for j := range sites {
+			m.d[i][j] = EC2RTT(sites[i], sites[j]) / 2
+		}
+	}
+	return m
+}
+
+// Uniform builds an n-replica matrix with identical one-way latency d
+// between distinct replicas and zero to self. Useful for tests.
+func Uniform(n int, d time.Duration) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.d[i][j] = d
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+package wan
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clockrsm/internal/types"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestMatrixSetSymmetric(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 2, ms(50))
+	if m.OneWay(0, 2) != ms(50) || m.OneWay(2, 0) != ms(50) {
+		t.Errorf("Set not symmetric: %v / %v", m.OneWay(0, 2), m.OneWay(2, 0))
+	}
+	if m.RTT(0, 2) != ms(100) {
+		t.Errorf("RTT = %v, want 100ms", m.RTT(0, 2))
+	}
+}
+
+func TestMedianIncludesSelf(t *testing.T) {
+	// Replica 0 with distances {0, 10, 20, 30, 40}: median is 20ms
+	// (3rd smallest of 5 = latency to reach a majority of 3).
+	m := NewMatrix(5)
+	for j := 1; j < 5; j++ {
+		m.Set(0, types.ReplicaID(j), ms(10*j))
+	}
+	if got := m.Median(0); got != ms(20) {
+		t.Errorf("Median = %v, want 20ms", got)
+	}
+	if got := m.Max(0); got != ms(40) {
+		t.Errorf("Max = %v, want 40ms", got)
+	}
+}
+
+func TestMedianThreeReplicas(t *testing.T) {
+	// {0, a, b} -> median is the smaller of a,b: one round trip to the
+	// nearest replica reaches a majority with 3 replicas.
+	m := NewMatrix(3)
+	m.Set(0, 1, ms(40))
+	m.Set(0, 2, ms(85))
+	if got := m.Median(0); got != ms(40) {
+		t.Errorf("Median(3 replicas) = %v, want 40ms", got)
+	}
+}
+
+func TestTwoHopMedian(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, ms(10))
+	m.Set(0, 2, ms(20))
+	m.Set(1, 2, ms(25))
+	// paths j=1 -> i=0 via k: k=0: 10+0=10, k=1: 0+10=10, k=2: 25+20=45.
+	// sorted {10,10,45}, median 10.
+	if got := m.TwoHopMedian(1, 0); got != ms(10) {
+		t.Errorf("TwoHopMedian = %v, want 10ms", got)
+	}
+}
+
+func TestMaxTwoHopMedianDominatesMedian(t *testing.T) {
+	m := EC2Matrix([]Site{CA, VA, IR, JP, SG})
+	for i := 0; i < m.Size(); i++ {
+		r := types.ReplicaID(i)
+		// lc3^worst includes j == i whose two-hop median is 2*median-ish;
+		// it must be at least the direct round trip to a majority.
+		if m.MaxTwoHopMedian(r) < m.Median(r) {
+			t.Errorf("replica %v: MaxTwoHopMedian %v < Median %v", r, m.MaxTwoHopMedian(r), m.Median(r))
+		}
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := EC2Matrix(AllSites())
+	sub := m.SubMatrix([]types.ReplicaID{0, 2, 4}) // CA, IR, SG
+	if sub.Size() != 3 {
+		t.Fatalf("SubMatrix size = %d", sub.Size())
+	}
+	if sub.OneWay(0, 1) != ms(170)/2 {
+		t.Errorf("CA-IR one-way = %v, want 85ms", sub.OneWay(0, 1))
+	}
+	if sub.OneWay(1, 2) != ms(216)/2 {
+		t.Errorf("IR-SG one-way = %v, want 108ms", sub.OneWay(1, 2))
+	}
+}
+
+func TestEC2RTTTable3(t *testing.T) {
+	// Spot-check entries straight out of Table III.
+	tests := []struct {
+		a, b Site
+		ms   int
+	}{
+		{CA, VA, 83}, {VA, CA, 83},
+		{CA, BR, 212},
+		{VA, SG, 254},
+		{IR, JP, 280},
+		{JP, SG, 77},
+		{SG, BR, 369},
+		{AU, BR, 349},
+	}
+	for _, tt := range tests {
+		if got := EC2RTT(tt.a, tt.b); got != ms(tt.ms) {
+			t.Errorf("EC2RTT(%v,%v) = %v, want %dms", tt.a, tt.b, got, tt.ms)
+		}
+	}
+	if EC2RTT(JP, JP) != IntraDCRTT {
+		t.Errorf("intra-DC RTT = %v", EC2RTT(JP, JP))
+	}
+}
+
+func TestEC2MatrixOneWayIsHalfRTT(t *testing.T) {
+	m := EC2Matrix([]Site{CA, VA, IR})
+	if got := m.OneWay(0, 1); got != ms(83)/2 {
+		t.Errorf("one-way CA-VA = %v, want 41.5ms", got)
+	}
+	if got := m.OneWay(0, 0); got != IntraDCRTT/2 {
+		t.Errorf("one-way self = %v, want 0.3ms", got)
+	}
+}
+
+func TestEC2MatrixComplete(t *testing.T) {
+	m := EC2Matrix(AllSites())
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if i != j && m.OneWay(types.ReplicaID(i), types.ReplicaID(j)) <= 0 {
+				t.Errorf("missing latency %v->%v", Site(i), Site(j))
+			}
+		}
+	}
+}
+
+func TestParseSite(t *testing.T) {
+	for _, s := range AllSites() {
+		got, err := ParseSite(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSite(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSite("XX"); err == nil {
+		t.Error("ParseSite accepted unknown site")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform(4, ms(10))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := ms(10)
+			if i == j {
+				want = 0
+			}
+			if got := m.OneWay(types.ReplicaID(i), types.ReplicaID(j)); got != want {
+				t.Errorf("Uniform(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// Median is always between min and max of the row; Max dominates Median.
+func TestAggregateBoundsProperty(t *testing.T) {
+	f := func(raw [5][5]uint16) bool {
+		m := NewMatrix(5)
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				m.Set(types.ReplicaID(i), types.ReplicaID(j), time.Duration(raw[i][j]%500)*time.Millisecond)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			r := types.ReplicaID(i)
+			if m.Median(r) > m.Max(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if CA.String() != "CA" || BR.String() != "BR" {
+		t.Error("site names wrong")
+	}
+	if Site(99).String() != "Site(99)" {
+		t.Error("out-of-range site string wrong")
+	}
+}

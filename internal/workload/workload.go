@@ -1,0 +1,160 @@
+// Package workload generates the client load of the paper's evaluation
+// (Section VI-B): closed-loop clients attached to a replica, each
+// submitting one command at a time with a uniformly random think time,
+// over the discrete-event simulator.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/sim"
+	"clockrsm/internal/stats"
+	"clockrsm/internal/types"
+)
+
+// PoolOptions configure the client pool.
+type PoolOptions struct {
+	// ThinkMax is the upper bound of the uniform think time between a
+	// reply and the next request (the paper uses 0–80 ms).
+	ThinkMax time.Duration
+	// PayloadSize is the value size of the generated update commands
+	// (the paper uses 64 B requests).
+	PayloadSize int
+	// Keys is the key-space size for the random updates (default 1024).
+	Keys int
+	// Warmup discards latency samples observed before this virtual time.
+	Warmup time.Duration
+}
+
+// pendingCmd tracks one in-flight command.
+type pendingCmd struct {
+	client *client
+	start  time.Duration
+}
+
+// Pool manages closed-loop clients over a simulated cluster and
+// collects per-replica commit latencies.
+type Pool struct {
+	eng     *sim.Engine
+	rng     *rand.Rand
+	opts    PoolOptions
+	samples map[types.ReplicaID]*stats.Sample
+	pending map[types.CommandID]pendingCmd
+	seq     uint64
+
+	issued    uint64
+	completed uint64
+}
+
+// client is one closed-loop client.
+type client struct {
+	pool    *Pool
+	replica types.ReplicaID
+	submit  func(types.Command)
+}
+
+// NewPool creates a pool over the engine. Runs with equal seeds and
+// configurations are identical.
+func NewPool(eng *sim.Engine, seed int64, opts PoolOptions) *Pool {
+	if opts.Keys <= 0 {
+		opts.Keys = 1024
+	}
+	return &Pool{
+		eng:     eng,
+		rng:     rand.New(rand.NewSource(seed)),
+		opts:    opts,
+		samples: make(map[types.ReplicaID]*stats.Sample),
+		pending: make(map[types.CommandID]pendingCmd),
+	}
+}
+
+// AttachClients binds n closed-loop clients to a replica. submit must
+// hand the command to the replica's protocol; replies must be routed
+// back via OnReply. Clients start at a random phase within ThinkMax.
+func (p *Pool) AttachClients(replica types.ReplicaID, n int, submit func(types.Command)) {
+	if p.samples[replica] == nil {
+		p.samples[replica] = &stats.Sample{}
+	}
+	for i := 0; i < n; i++ {
+		c := &client{pool: p, replica: replica, submit: submit}
+		p.eng.After(p.think(), c.issue)
+	}
+}
+
+// think draws a uniform think time in [0, ThinkMax].
+func (p *Pool) think() time.Duration {
+	if p.opts.ThinkMax <= 0 {
+		return 0
+	}
+	return time.Duration(p.rng.Int63n(int64(p.opts.ThinkMax)))
+}
+
+// issue submits this client's next command.
+func (c *client) issue() {
+	p := c.pool
+	p.seq++
+	cid := types.CommandID{Origin: c.replica, Seq: p.seq}
+	key := keyName(p.rng.Intn(p.opts.Keys))
+	value := make([]byte, p.opts.PayloadSize)
+	p.pending[cid] = pendingCmd{client: c, start: p.eng.Now()}
+	p.issued++
+	c.submit(types.Command{ID: cid, Payload: kvstore.Put(key, value)})
+}
+
+// OnReply completes a command: it records the commit latency (after
+// warmup) and schedules the client's next request. Wire it into the
+// replica's rsm.App.OnReply.
+func (p *Pool) OnReply(res types.Result) {
+	pc, ok := p.pending[res.ID]
+	if !ok {
+		return // duplicate or foreign reply
+	}
+	delete(p.pending, res.ID)
+	p.completed++
+	now := p.eng.Now()
+	if now >= p.opts.Warmup {
+		p.samples[pc.client.replica].Add(now - pc.start)
+	}
+	p.eng.After(p.think(), pc.client.issue)
+}
+
+// Sample returns the latency sample of a replica's clients.
+func (p *Pool) Sample(replica types.ReplicaID) *stats.Sample {
+	if s := p.samples[replica]; s != nil {
+		return s
+	}
+	return &stats.Sample{}
+}
+
+// Issued returns the number of commands submitted.
+func (p *Pool) Issued() uint64 { return p.issued }
+
+// Completed returns the number of replies received.
+func (p *Pool) Completed() uint64 { return p.completed }
+
+// Outstanding returns commands without a reply yet.
+func (p *Pool) Outstanding() int { return len(p.pending) }
+
+// keyName renders key i as a short deterministic string.
+func keyName(i int) string {
+	const digits = "0123456789"
+	buf := [8]byte{'k', 'e', 'y', '-'}
+	n := 4
+	if i >= 1000 {
+		buf[n] = digits[(i/1000)%10]
+		n++
+	}
+	if i >= 100 {
+		buf[n] = digits[(i/100)%10]
+		n++
+	}
+	if i >= 10 {
+		buf[n] = digits[(i/10)%10]
+		n++
+	}
+	buf[n] = digits[i%10]
+	n++
+	return string(buf[:n])
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/sim"
+	"clockrsm/internal/types"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+// echoService replies to every command after a fixed delay.
+type echoService struct {
+	eng   *sim.Engine
+	delay time.Duration
+	pool  *Pool
+}
+
+func (e *echoService) submit(cmd types.Command) {
+	id := cmd.ID
+	e.eng.After(e.delay, func() {
+		e.pool.OnReply(types.Result{ID: id})
+	})
+}
+
+func TestClosedLoopClients(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, 1, PoolOptions{ThinkMax: ms(80), PayloadSize: 64})
+	svc := &echoService{eng: eng, delay: ms(20), pool: p}
+	p.AttachClients(0, 10, svc.submit)
+	eng.RunUntil(10 * time.Second)
+
+	if p.Issued() == 0 || p.Completed() == 0 {
+		t.Fatal("no traffic generated")
+	}
+	// Closed loop: issued - completed = outstanding ≤ clients.
+	if p.Issued()-p.Completed() != uint64(p.Outstanding()) {
+		t.Errorf("issued %d, completed %d, outstanding %d", p.Issued(), p.Completed(), p.Outstanding())
+	}
+	if p.Outstanding() > 10 {
+		t.Errorf("more outstanding commands (%d) than clients", p.Outstanding())
+	}
+	// Each client averages one op per (delay + think/2) ≈ 60ms: expect
+	// roughly 10s/60ms * 10 clients ≈ 1600 ops; accept a broad band.
+	if p.Completed() < 1000 || p.Completed() > 2500 {
+		t.Errorf("completed %d ops, want ≈1600", p.Completed())
+	}
+	s := p.Sample(0)
+	if s.Count() == 0 {
+		t.Fatal("no samples")
+	}
+	if s.Mean() != ms(20) {
+		t.Errorf("mean latency %v, want exactly 20ms", s.Mean())
+	}
+}
+
+func TestWarmupDiscardsSamples(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, 1, PoolOptions{ThinkMax: ms(10), PayloadSize: 8, Warmup: 5 * time.Second})
+	svc := &echoService{eng: eng, delay: ms(5), pool: p}
+	p.AttachClients(0, 5, svc.submit)
+	eng.RunUntil(4 * time.Second) // entirely within warmup
+	if got := p.Sample(0).Count(); got != 0 {
+		t.Errorf("samples during warmup: %d", got)
+	}
+	eng.RunUntil(10 * time.Second)
+	if got := p.Sample(0).Count(); got == 0 {
+		t.Error("no samples after warmup")
+	}
+}
+
+func TestZeroThinkTime(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, 1, PoolOptions{PayloadSize: 8})
+	svc := &echoService{eng: eng, delay: ms(10), pool: p}
+	p.AttachClients(0, 1, svc.submit)
+	eng.RunUntil(time.Second)
+	// One client, 10ms per op, zero think: exactly 100 ops issued.
+	if p.Completed() < 99 || p.Completed() > 101 {
+		t.Errorf("completed %d, want ≈100", p.Completed())
+	}
+}
+
+func TestDuplicateReplyIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, 1, PoolOptions{ThinkMax: ms(10), PayloadSize: 8})
+	var last types.CommandID
+	p.AttachClients(0, 1, func(cmd types.Command) { last = cmd.ID })
+	eng.RunUntilIdle()
+	p.OnReply(types.Result{ID: last})
+	completed := p.Completed()
+	p.OnReply(types.Result{ID: last}) // duplicate
+	if p.Completed() != completed {
+		t.Error("duplicate reply counted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		eng := sim.NewEngine()
+		p := NewPool(eng, 7, PoolOptions{ThinkMax: ms(30), PayloadSize: 16})
+		svc := &echoService{eng: eng, delay: ms(15), pool: p}
+		p.AttachClients(0, 8, svc.submit)
+		p.AttachClients(1, 8, svc.submit)
+		eng.RunUntil(5 * time.Second)
+		return p.Completed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestKeyName(t *testing.T) {
+	tests := map[int]string{0: "key-0", 7: "key-7", 42: "key-42", 999: "key-999", 1023: "key-1023"}
+	for i, want := range tests {
+		if got := keyName(i); got != want {
+			t.Errorf("keyName(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
