@@ -19,6 +19,41 @@
 //   - internal/runner: the experiment harness regenerating every table
 //     and figure of Section VI.
 //
+// # Hot-path architecture
+//
+// The paper's headline claim — commit latency bounded by WAN round
+// trips, not protocol overhead — holds only if the local
+// PREPARE → PREPAREOK → commit path costs near-zero CPU and
+// allocation. The messaging hot path is therefore built around four
+// cooperating mechanisms:
+//
+//   - Encode-once broadcast: msg.EncodeTo serializes into pooled,
+//     reusable buffers (zero steady-state allocation), and
+//     rsm.Broadcast routes through transport.Broadcaster when
+//     available, so an N-peer broadcast encodes one frame and shares
+//     it (refcounted) across all peer outboxes instead of encoding N
+//     times.
+//   - Frame batching: msg.Batch packs several messages from one
+//     sender into a single wire frame, preserving per-link FIFO
+//     order; a Clock-RSM replica coalesces the PREPAREOKs (and other
+//     broadcasts) it produces while draining one event-loop batch
+//     into one such frame.
+//   - Write coalescing: the TCP writeLoop drains its outbox in
+//     batches through a bufio.Writer — one flush (typically one
+//     syscall) covers a whole burst of frames — and the readLoop
+//     reuses a grow-only buffer, so steady-state framing allocates
+//     nothing on either side.
+//   - Inline ack tracking: the replication bitmask (RepCounter) lives
+//     inside each pending-set heap entry rather than in a parallel
+//     map, so recording an acknowledgement is one map lookup and a
+//     bit-or, and the commit scan reads the mask off the heap head.
+//     The node event loop drains queued events in batches bracketed
+//     by BeginBatch/EndBatch, so a burst of deliveries triggers one
+//     commit cascade.
+//
+// BenchmarkHotPath (hotpath_bench_test.go) measures the end-to-end
+// effect; BENCH_*.json records the trajectory across PRs.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results. The root-level
 // benchmarks (bench_test.go) regenerate each evaluation artifact:

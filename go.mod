@@ -1,0 +1,3 @@
+module clockrsm
+
+go 1.24

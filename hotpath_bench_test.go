@@ -1,0 +1,43 @@
+// BenchmarkHotPath is the headline end-to-end hot-path benchmark: a
+// local five-replica Clock-RSM cluster over the in-process transport
+// with the binary codec enabled (Figure-8 style), saturated by
+// closed-loop clients. The custom ops/s metric is the number tracked in
+// BENCH_*.json across PRs; CI runs it with -benchtime=1x as a smoke.
+package clockrsm_test
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/runner"
+)
+
+func runHotPath(b *testing.B, payload int) {
+	b.Helper()
+	var ops float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner.RunThroughput(runner.ThroughputConfig{
+			Protocol:    runner.ClockRSM,
+			PayloadSize: payload,
+			Warmup:      300 * time.Millisecond,
+			Duration:    2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.OpsPerSec
+	}
+	b.ReportMetric(ops, "ops/s")
+}
+
+// BenchmarkHotPath saturates Clock-RSM with 100-byte commands (the
+// paper's medium size) and reports committed commands per second.
+func BenchmarkHotPath(b *testing.B) {
+	runHotPath(b, 100)
+}
+
+// BenchmarkHotPathSmall uses 10-byte commands, where per-message CPU
+// overhead (encode, frame, syscall) dominates payload cost.
+func BenchmarkHotPathSmall(b *testing.B) {
+	runHotPath(b, 10)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
+)
+
+// recordEnv is a minimal rsm.Env capturing outgoing messages, for
+// white-box tests of the batch-turn coalescing.
+type recordEnv struct {
+	id    types.ReplicaID
+	spec  []types.ReplicaID
+	now   int64
+	log   storage.Log
+	sends []struct {
+		to types.ReplicaID
+		m  msg.Message
+	}
+}
+
+func newRecordEnv(id types.ReplicaID, n int) *recordEnv {
+	spec := make([]types.ReplicaID, n)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+	return &recordEnv{id: id, spec: spec, now: 1, log: storage.NewMemLog()}
+}
+
+func (e *recordEnv) ID() types.ReplicaID     { return e.id }
+func (e *recordEnv) Spec() []types.ReplicaID { return e.spec }
+func (e *recordEnv) Clock() int64            { e.now++; return e.now }
+func (e *recordEnv) Send(to types.ReplicaID, m msg.Message) {
+	e.sends = append(e.sends, struct {
+		to types.ReplicaID
+		m  msg.Message
+	}{to, m})
+}
+func (e *recordEnv) After(d time.Duration, fn func()) {}
+func (e *recordEnv) Log() storage.Log                 { return e.log }
+
+func prepareAt(origin types.ReplicaID, wall int64, seq uint64) *msg.Prepare {
+	return &msg.Prepare{
+		TS: types.Timestamp{Wall: wall, Node: origin},
+		Cmd: types.Command{
+			ID:      types.CommandID{Origin: origin, Seq: seq},
+			Payload: []byte("x"),
+		},
+	}
+}
+
+// TestBatchedPreparesCoalescePrepareOKs delivers a msg.Batch of
+// PREPAREs in one turn and checks the acknowledgements leave as a
+// single msg.Batch of PREPAREOKs per destination, in timestamp order.
+func TestBatchedPreparesCoalescePrepareOKs(t *testing.T) {
+	env := newRecordEnv(1, 3)
+	env.now = 1000 // local clock ahead of all prepare timestamps: no line-8 wait
+	rep := New(env, &rsm.App{SM: rsm.NopSM{}}, Options{})
+	rep.Start()
+	env.sends = nil // drop anything Start produced
+
+	batch := &msg.Batch{Msgs: []msg.Message{
+		prepareAt(0, 10, 1),
+		prepareAt(0, 11, 2),
+		prepareAt(0, 12, 3),
+	}}
+	rep.Deliver(0, batch)
+
+	// One coalesced message to each of the two other replicas.
+	if len(env.sends) != 2 {
+		t.Fatalf("sent %d messages, want 2 (one coalesced batch per peer)", len(env.sends))
+	}
+	for _, s := range env.sends {
+		out, ok := s.m.(*msg.Batch)
+		if !ok {
+			t.Fatalf("sent %T to %v, want *msg.Batch", s.m, s.to)
+		}
+		if len(out.Msgs) != 3 {
+			t.Fatalf("coalesced batch has %d messages, want 3", len(out.Msgs))
+		}
+		var prev int64
+		for _, sub := range out.Msgs {
+			ok, isOK := sub.(*msg.PrepareOK)
+			if !isOK {
+				t.Fatalf("batched reply contains %T, want *msg.PrepareOK", sub)
+			}
+			if ok.TS.Wall <= prev && prev != 0 {
+				t.Error("PREPAREOKs out of timestamp order in batch")
+			}
+			prev = ok.TS.Wall
+		}
+	}
+}
+
+// TestSingleMessageTurnSendsPlainReply checks the degenerate batch: a
+// turn producing one message must send it bare, not wrapped in a Batch.
+func TestSingleMessageTurnSendsPlainReply(t *testing.T) {
+	env := newRecordEnv(1, 3)
+	env.now = 1000
+	rep := New(env, &rsm.App{SM: rsm.NopSM{}}, Options{})
+	rep.Start()
+	env.sends = nil
+
+	rep.BeginBatch()
+	rep.Deliver(0, prepareAt(0, 10, 1))
+	rep.EndBatch()
+
+	if len(env.sends) != 2 {
+		t.Fatalf("sent %d messages, want 2", len(env.sends))
+	}
+	for _, s := range env.sends {
+		if _, ok := s.m.(*msg.PrepareOK); !ok {
+			t.Fatalf("sent %T, want bare *msg.PrepareOK", s.m)
+		}
+	}
+}
+
+// TestEarlyAckBeforePrepare delivers a PREPAREOK before its PREPARE
+// (possible across distinct FIFO links) and checks the acknowledgement
+// is not lost: the command commits once the PREPARE arrives and order
+// is stable.
+func TestEarlyAckBeforePrepare(t *testing.T) {
+	env := newRecordEnv(1, 3)
+	env.now = 1000
+	executed := 0
+	app := &rsm.App{SM: rsm.NopSM{}, OnCommit: func(types.Timestamp, types.Command) { executed++ }}
+	rep := New(env, app, Options{})
+	rep.Start()
+
+	ts := types.Timestamp{Wall: 10, Node: 0}
+	// Replica 2 acknowledged before we even saw the PREPARE from 0.
+	rep.Deliver(2, &msg.PrepareOK{TS: ts, ClockTS: 2000})
+	if got := len(rep.earlyAcks); got != 1 {
+		t.Fatalf("earlyAcks has %d entries, want 1", got)
+	}
+	rep.Deliver(0, prepareAt(0, 10, 1))
+	if got := len(rep.earlyAcks); got != 0 {
+		t.Fatalf("earlyAcks not drained into pending entry: %d entries", got)
+	}
+	// Stable order needs a recent clock from replica 0 too.
+	rep.Deliver(0, &msg.ClockTime{TS: 2000})
+	if executed != 1 {
+		t.Fatalf("executed %d commands, want 1", executed)
+	}
+	if rep.PendingLen() != 0 {
+		t.Errorf("pending not drained: %d", rep.PendingLen())
+	}
+}
+
+// TestLateDuplicatePrepareIgnored checks that a PREPARE duplicated
+// after its command committed does not re-enter the pending set (which
+// would re-execute the command).
+func TestLateDuplicatePrepareIgnored(t *testing.T) {
+	env := newRecordEnv(1, 3)
+	env.now = 1000
+	executed := 0
+	rep := New(env, &rsm.App{SM: rsm.NopSM{}, OnCommit: func(types.Timestamp, types.Command) { executed++ }}, Options{})
+	rep.Start()
+
+	p := prepareAt(0, 10, 1)
+	rep.Deliver(0, p)
+	rep.Deliver(2, &msg.PrepareOK{TS: p.TS, ClockTS: 2000})
+	rep.Deliver(0, &msg.ClockTime{TS: 2000})
+	if executed != 1 {
+		t.Fatalf("setup: executed %d, want 1", executed)
+	}
+	// The same PREPARE again (e.g. retransmission after the ack map was
+	// cleaned): must be dropped, not re-executed.
+	rep.Deliver(0, p)
+	rep.Deliver(2, &msg.PrepareOK{TS: p.TS, ClockTS: 2001})
+	rep.Deliver(0, &msg.ClockTime{TS: 2001})
+	if executed != 1 {
+		t.Errorf("late duplicate PREPARE re-executed: executed=%d", executed)
+	}
+	if rep.PendingLen() != 0 {
+		t.Errorf("late duplicate re-entered pending: %d", rep.PendingLen())
+	}
+}

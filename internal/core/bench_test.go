@@ -45,7 +45,7 @@ func BenchmarkPendingSet(b *testing.B) {
 	cmd := types.Command{ID: types.CommandID{Origin: 0, Seq: 1}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p.Add(types.Timestamp{Wall: int64(i), Node: 0}, cmd)
+		p.Add(types.Timestamp{Wall: int64(i), Node: 0}, cmd, 1)
 		if p.Len() > 64 {
 			p.PopMin()
 		}

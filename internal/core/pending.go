@@ -1,54 +1,56 @@
 package core
 
 import (
-	"container/heap"
-
 	"clockrsm/internal/types"
 )
 
 // pendingCmd is one not-yet-committed command (an element of
-// PendingCmds, Table I).
+// PendingCmds, Table I). The replication bitmask (RepCounter) lives
+// inline in the entry: recording an acknowledgement is a single map
+// lookup plus a bit-or, and commitment reads the mask straight off the
+// heap head — no separate ack map to update and delete-churn in
+// lockstep with the pending set.
 type pendingCmd struct {
-	ts  types.Timestamp
-	cmd types.Command
-}
-
-// tsHeap is a min-heap of pending commands ordered by timestamp.
-type tsHeap []pendingCmd
-
-func (h tsHeap) Len() int           { return len(h) }
-func (h tsHeap) Less(i, j int) bool { return h[i].ts.Less(h[j].ts) }
-func (h tsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *tsHeap) Push(x any)        { *h = append(*h, x.(pendingCmd)) }
-func (h *tsHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = pendingCmd{}
-	*h = old[:n-1]
-	return e
+	ts   types.Timestamp
+	cmd  types.Command
+	acks uint64 // bitmask of replicas known to have logged ts
 }
 
 // pendingSet is PendingCmds: a timestamp-ordered priority queue with
-// membership testing.
+// membership testing and in-place ack accounting. The heap is
+// hand-rolled (rather than container/heap) so pushes and pops move
+// concrete values without interface boxing — the hot path allocates
+// only on slice growth.
 type pendingSet struct {
-	h  tsHeap
-	in map[types.Timestamp]bool
+	h   []pendingCmd
+	pos map[types.Timestamp]int // ts → index in h
 }
 
 // newPendingSet returns an empty set.
 func newPendingSet() *pendingSet {
-	return &pendingSet{in: make(map[types.Timestamp]bool)}
+	return &pendingSet{pos: make(map[types.Timestamp]int)}
 }
 
-// Add inserts a command unless its timestamp is already pending.
-// It reports whether the command was inserted.
-func (p *pendingSet) Add(ts types.Timestamp, cmd types.Command) bool {
-	if p.in[ts] {
+// Add inserts a command with ack bitmask acks unless its timestamp is
+// already pending. It reports whether the command was inserted.
+func (p *pendingSet) Add(ts types.Timestamp, cmd types.Command, acks uint64) bool {
+	if _, ok := p.pos[ts]; ok {
 		return false
 	}
-	p.in[ts] = true
-	heap.Push(&p.h, pendingCmd{ts: ts, cmd: cmd})
+	p.h = append(p.h, pendingCmd{ts: ts, cmd: cmd, acks: acks})
+	p.pos[ts] = len(p.h) - 1
+	p.up(len(p.h) - 1)
+	return true
+}
+
+// Ack sets replica k's bit on the pending entry for ts, reporting
+// whether the timestamp is pending.
+func (p *pendingSet) Ack(ts types.Timestamp, k types.ReplicaID) bool {
+	i, ok := p.pos[ts]
+	if !ok {
+		return false
+	}
+	p.h[i].acks |= 1 << uint(k)
 	return true
 }
 
@@ -61,18 +63,69 @@ func (p *pendingSet) Min() pendingCmd { return p.h[0] }
 
 // PopMin removes and returns the smallest pending command.
 func (p *pendingSet) PopMin() pendingCmd {
-	e := heap.Pop(&p.h).(pendingCmd)
-	delete(p.in, e.ts)
+	e := p.h[0]
+	last := len(p.h) - 1
+	p.h[0] = p.h[last]
+	p.h[last] = pendingCmd{}
+	p.h = p.h[:last]
+	delete(p.pos, e.ts)
+	if last > 0 {
+		p.pos[p.h[0].ts] = 0
+		p.down(0)
+	}
 	return e
 }
 
 // Contains reports whether ts is pending.
-func (p *pendingSet) Contains(ts types.Timestamp) bool { return p.in[ts] }
+func (p *pendingSet) Contains(ts types.Timestamp) bool {
+	_, ok := p.pos[ts]
+	return ok
+}
 
 // Clear drops every pending command (used at reconfiguration).
 func (p *pendingSet) Clear() {
-	p.h = p.h[:0]
-	for ts := range p.in {
-		delete(p.in, ts)
+	for i := range p.h {
+		p.h[i] = pendingCmd{}
 	}
+	p.h = p.h[:0]
+	clear(p.pos)
+}
+
+// up restores the heap invariant from index i toward the root.
+func (p *pendingSet) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.h[i].ts.Less(p.h[parent].ts) {
+			return
+		}
+		p.swap(i, parent)
+		i = parent
+	}
+}
+
+// down restores the heap invariant from index i toward the leaves.
+func (p *pendingSet) down(i int) {
+	n := len(p.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && p.h[l].ts.Less(p.h[min].ts) {
+			min = l
+		}
+		if r < n && p.h[r].ts.Less(p.h[min].ts) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		p.swap(i, min)
+		i = min
+	}
+}
+
+// swap exchanges two heap slots, keeping the position index current.
+func (p *pendingSet) swap(i, j int) {
+	p.h[i], p.h[j] = p.h[j], p.h[i]
+	p.pos[p.h[i].ts] = i
+	p.pos[p.h[j].ts] = j
 }

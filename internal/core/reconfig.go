@@ -289,13 +289,17 @@ func (r *Replica) onRetrieveReply(from types.ReplicaID, m *msg.RetrieveReply) {
 // command not yet executed in timestamp order, install the new epoch and
 // configuration, and resume.
 func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand) {
+	// Flush any output coalesced in the current batch turn before the
+	// epoch changes: the buffered messages belong to the old epoch and
+	// configuration.
+	r.flushOut()
 	lg := r.env.Log()
 	// Line 15: remove uncommitted PREPAREs above the baseline. Their
 	// commands either appear in d.cmds (they could have committed) or are
 	// lost; clients resubmit.
 	lg.RemovePrepares(d.ts)
 	r.pending.Clear()
-	r.acks = make(map[types.Timestamp]uint64)
+	clear(r.earlyAcks)
 
 	// Lines 16-20: apply transferred commands (all ≤ d.ts) then decided
 	// commands (> d.ts) in timestamp order, skipping anything already
@@ -317,6 +321,9 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 		cts = tc.TS
 		r.committed++
 		r.app.Execute(r.env.ID(), tc.TS, tc.Cmd)
+	}
+	if r.lastCommitted.Less(cts) {
+		r.lastCommitted = cts
 	}
 
 	// Lines 21-24: install epoch and configuration, resize LatestTV.

@@ -57,10 +57,19 @@ type Replica struct {
 
 	nextSeq uint64
 
+	// pending holds uncommitted commands with their replication bitmask
+	// (RepCounter, Table I) inline in each entry; see pendingSet.
 	pending *pendingSet
-	// acks[ts] is the bitmask of replicas known to have logged ts
-	// (RepCounter in Table I, deduplicated per sender).
-	acks map[types.Timestamp]uint64
+	// earlyAcks buffers acknowledgements that arrive before the PREPARE
+	// they acknowledge (possible across distinct FIFO links); they are
+	// folded into the pending entry when it is created. Empty in steady
+	// state.
+	earlyAcks map[types.Timestamp]uint64
+	// lastCommitted is the timestamp of the newest committed command.
+	// Commits happen in timestamp order, so anything at or below it is
+	// finished: late duplicate PREPAREs and stray acknowledgements for
+	// it are dropped instead of accumulating state.
+	lastCommitted types.Timestamp
 	// latestTV[k] is the latest clock reading known from replica k
 	// (LatestTV in Table I), indexed by replica ID. The entry for self
 	// is implicit: the local clock.
@@ -88,6 +97,13 @@ type Replica struct {
 	// deferred buffers client commands submitted while suspended.
 	deferred []types.Command
 
+	// Batch-turn state: between BeginBatch and EndBatch (or while
+	// processing one msg.Batch), outgoing broadcasts accumulate in
+	// outBuf — flushed as one msg.Batch — and the commit scan is
+	// deferred to the end of the turn.
+	inBatch bool
+	outBuf  []msg.Message
+
 	// sinceCheckpoint counts commands executed since the last
 	// checkpoint.
 	sinceCheckpoint int
@@ -114,7 +130,7 @@ func New(env rsm.Env, app *rsm.App, opts Options) *Replica {
 		config:    append([]types.ReplicaID(nil), spec...),
 		inConfig:  make(map[types.ReplicaID]bool, len(spec)),
 		pending:   newPendingSet(),
-		acks:      make(map[types.Timestamp]uint64),
+		earlyAcks: make(map[types.Timestamp]uint64),
 		latestTV:  make([]int64, len(spec)),
 		lastHeard: make([]int64, len(spec)),
 		stashed:   make(map[types.Epoch]*decision),
@@ -137,6 +153,7 @@ func New(env rsm.Env, app *rsm.App, opts Options) *Replica {
 		for _, tc := range committed {
 			r.app.Execute(types.NoReplica, tc.TS, tc.Cmd) // suppress client replies on replay
 			r.committed++
+			r.lastCommitted = tc.TS
 		}
 	}
 	return r
@@ -201,20 +218,82 @@ func (r *Replica) Submit(cmd types.Command) {
 	}
 	ts := types.Timestamp{Wall: r.env.Clock(), Node: r.env.ID()}
 	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: ts, Cmd: cmd})
-	r.pending.Add(ts, cmd)
+	r.pending.Add(ts, cmd, 1<<uint(r.env.ID()))
 	r.observe(r.env.ID(), ts.Wall)
-	r.ack(ts, r.env.ID())
 	r.lastSent = ts.Wall
-	rsm.Broadcast(r.env, r.config, &msg.Prepare{Epoch: r.epoch, TS: ts, Cmd: cmd})
+	r.broadcast(&msg.Prepare{Epoch: r.epoch, TS: ts, Cmd: cmd})
 	r.tryCommit()
 }
 
 // Deliver routes a protocol message (Alg. 1 upon-clauses, Alg. 2/3
-// handlers and the consensus primitive).
+// handlers and the consensus primitive). A msg.Batch counts as one
+// delivery turn: its packed messages run back-to-back and trigger a
+// single commit scan and one coalesced outgoing flush.
 func (r *Replica) Deliver(from types.ReplicaID, m msg.Message) {
 	if r.opts.SuspectTimeout > 0 {
 		r.lastHeard[from] = r.env.Clock()
 	}
+	if batch, ok := m.(*msg.Batch); ok {
+		wasBatch := r.inBatch
+		r.inBatch = true
+		for _, sub := range batch.Msgs {
+			r.deliverOne(from, sub)
+		}
+		r.inBatch = wasBatch
+		if !wasBatch {
+			r.flushOut()
+			r.tryCommit()
+		}
+		return
+	}
+	r.deliverOne(from, m)
+}
+
+// BeginBatch implements rsm.BatchDeliverer: it opens a batch turn, in
+// which outgoing broadcasts coalesce and the commit scan is deferred.
+func (r *Replica) BeginBatch() { r.inBatch = true }
+
+// EndBatch implements rsm.BatchDeliverer: it closes the batch turn,
+// broadcasts the coalesced output as one message and runs the single
+// commit cascade for everything delivered in the turn.
+func (r *Replica) EndBatch() {
+	r.inBatch = false
+	r.flushOut()
+	r.tryCommit()
+}
+
+// broadcast sends m to the configuration, or buffers it for one
+// coalesced send at the end of the current batch turn.
+func (r *Replica) broadcast(m msg.Message) {
+	if r.inBatch {
+		r.outBuf = append(r.outBuf, m)
+		return
+	}
+	rsm.Broadcast(r.env, r.config, m)
+}
+
+// flushOut broadcasts the output buffered during a batch turn: a burst
+// of messages leaves as a single msg.Batch — one encode, one frame —
+// preserving their order on every link.
+func (r *Replica) flushOut() {
+	switch len(r.outBuf) {
+	case 0:
+		return
+	case 1:
+		rsm.Broadcast(r.env, r.config, r.outBuf[0])
+	default:
+		packed := make([]msg.Message, len(r.outBuf))
+		copy(packed, r.outBuf)
+		rsm.Broadcast(r.env, r.config, &msg.Batch{Msgs: packed})
+	}
+	for i := range r.outBuf {
+		r.outBuf[i] = nil
+	}
+	r.outBuf = r.outBuf[:0]
+}
+
+// deliverOne dispatches a single (non-batch) protocol message.
+func (r *Replica) deliverOne(from types.ReplicaID, m msg.Message) {
 	if r.px.Deliver(from, m) {
 		return
 	}
@@ -244,11 +323,22 @@ func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
 	if m.Epoch != r.epoch || r.suspended {
 		return
 	}
-	if !r.pending.Add(m.TS, m.Cmd) {
+	if m.TS.LessEq(r.lastCommitted) {
+		return // late duplicate of an already-committed command
+	}
+	// Seed the entry with the sender's implicit acknowledgement plus any
+	// PREPAREOKs that outran this PREPARE on other links.
+	acks := uint64(1) << uint(from)
+	if len(r.earlyAcks) > 0 {
+		if early, ok := r.earlyAcks[m.TS]; ok {
+			acks |= early
+			delete(r.earlyAcks, m.TS)
+		}
+	}
+	if !r.pending.Add(m.TS, m.Cmd, acks) {
 		return // duplicate delivery
 	}
 	r.observe(from, m.TS.Wall)
-	r.ack(m.TS, from)
 	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: m.TS, Cmd: m.Cmd})
 	// Line 8: wait until ts < Clock. The local clock is strictly
 	// increasing, so with synchronized clocks the wait never blocks; a
@@ -278,10 +368,12 @@ func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
 
 // ackPrepare logs locally done; broadcast 〈PREPAREOK ts, clockTs〉 to the
 // configuration and count our own acknowledgement (Alg. 1 lines 9-10).
+// Inside a batch turn the PREPAREOK joins the turn's coalesced output:
+// consecutive acknowledgements leave as one msg.Batch.
 func (r *Replica) ackPrepare(ts types.Timestamp) {
 	clockTS := r.env.Clock()
 	r.lastSent = clockTS
-	rsm.Broadcast(r.env, r.config, &msg.PrepareOK{Epoch: r.epoch, TS: ts, ClockTS: clockTS})
+	r.broadcast(&msg.PrepareOK{Epoch: r.epoch, TS: ts, ClockTS: clockTS})
 	r.ack(ts, r.env.ID())
 	r.tryCommit()
 }
@@ -313,7 +405,7 @@ func (r *Replica) clockTimeTick() {
 	now := r.env.Clock()
 	if !r.suspended && r.inConfig[r.env.ID()] && now >= r.lastSent+int64(d) {
 		r.lastSent = now
-		rsm.Broadcast(r.env, r.config, &msg.ClockTime{Epoch: r.epoch, TS: now})
+		r.broadcast(&msg.ClockTime{Epoch: r.epoch, TS: now})
 	}
 	r.env.After(d, r.clockTimeTick)
 }
@@ -327,9 +419,19 @@ func (r *Replica) observe(k types.ReplicaID, wall int64) {
 	}
 }
 
-// ack records that replica k logged the command with timestamp ts.
+// ack records that replica k logged the command with timestamp ts. The
+// bit lands directly in the pending entry; an acknowledgement that
+// outruns its PREPARE parks in earlyAcks, and one for an
+// already-committed command is dropped (commits are in timestamp
+// order, so ts ≤ lastCommitted is conclusive).
 func (r *Replica) ack(ts types.Timestamp, k types.ReplicaID) {
-	r.acks[ts] |= 1 << uint(k)
+	if ts.LessEq(r.lastCommitted) {
+		return
+	}
+	if r.pending.Ack(ts, k) {
+		return
+	}
+	r.earlyAcks[ts] |= 1 << uint(k)
 }
 
 // stable reports the stable-order condition (Alg. 1 line 22): no replica
@@ -351,20 +453,27 @@ func (r *Replica) stable(ts types.Timestamp) bool {
 // order while all three conditions of COMMITTED(ts) hold (Alg. 1 lines
 // 14-23): majority replication, stable order, and — by virtue of
 // committing strictly in timestamp order from the heap head — prefix
-// replication.
+// replication. During a batch turn the scan is deferred: EndBatch (or
+// the end of a msg.Batch delivery) runs it once for the whole burst.
 func (r *Replica) tryCommit() {
-	if r.suspended {
+	if r.suspended || r.inBatch {
 		return
 	}
 	maj := types.Majority(len(r.spec))
 	for r.pending.Len() > 0 {
 		head := r.pending.Min()
-		if bits.OnesCount64(r.acks[head.ts]) < maj || !r.stable(head.ts) {
+		if head.ts.LessEq(r.lastCommitted) {
+			// Stale entry from before a reconfiguration installed newer
+			// commits; its command is either already executed or lost.
+			r.pending.PopMin()
+			continue
+		}
+		if bits.OnesCount64(head.acks) < maj || !r.stable(head.ts) {
 			return
 		}
 		r.pending.PopMin()
 		r.env.Log().Append(storage.Entry{Kind: storage.KindCommit, TS: head.ts})
-		delete(r.acks, head.ts)
+		r.lastCommitted = head.ts
 		r.committed++
 		r.app.Execute(r.env.ID(), head.ts, head.cmd)
 		r.maybeCheckpoint(head.ts)

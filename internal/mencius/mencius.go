@@ -107,6 +107,11 @@ func (r *Replica) Submit(cmd types.Command) {
 // Deliver implements rsm.Protocol.
 func (r *Replica) Deliver(from types.ReplicaID, m msg.Message) {
 	switch mm := m.(type) {
+	case *msg.Batch:
+		// Packed messages from one sender: process in order.
+		for _, sub := range mm.Msgs {
+			r.Deliver(from, sub)
+		}
 	case *msg.MAccept:
 		r.onAccept(from, mm)
 	case *msg.MAccepted:

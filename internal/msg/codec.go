@@ -10,9 +10,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"clockrsm/internal/types"
 )
+
+// MaxFrame bounds any single wire frame and any length-prefixed field
+// inside one (64 MiB). The TCP transport enforces the same limit on
+// incoming frames; the decoder re-checks it so a corrupt 4-byte length
+// prefix can never drive a multi-GiB allocation.
+const MaxFrame = 64 << 20
 
 // Type discriminates the concrete message kind on the wire.
 type Type uint8
@@ -43,6 +50,8 @@ const (
 	TP2a
 	TP2b
 	TLearn
+	// Container frame packing several messages from one sender.
+	TBatch
 	maxType
 )
 
@@ -53,6 +62,7 @@ var typeNames = map[Type]string{
 	TSuspend: "SUSPEND", TSuspendOK: "SUSPENDOK",
 	TRetrieveCmds: "RETRIEVECMDS", TRetrieveReply: "RETRIEVEREPLY",
 	TP1a: "P1A", TP1b: "P1B", TP2a: "P2A", TP2b: "P2B", TLearn: "LEARN",
+	TBatch: "BATCH",
 }
 
 // String returns the paper's message name.
@@ -78,13 +88,48 @@ var (
 	ErrTruncated   = errors.New("msg: truncated message")
 	ErrUnknownType = errors.New("msg: unknown message type")
 	ErrTrailing    = errors.New("msg: trailing bytes after message")
+	ErrNestedBatch = errors.New("msg: batch nested inside batch")
 )
 
-// Encode serializes m as [type byte | body].
+// Encode serializes m as [type byte | body] into a fresh buffer.
+// Hot paths should prefer EncodeTo with a reused or pooled buffer.
 func Encode(m Message) []byte {
-	b := make([]byte, 1, 64)
-	b[0] = byte(m.Type())
-	return m.appendTo(b)
+	return EncodeTo(make([]byte, 0, 64), m)
+}
+
+// EncodeTo appends the serialization of m ([type byte | body]) to buf
+// and returns the extended slice. With a buffer of sufficient capacity
+// (e.g. one obtained from GetBuf and reused across calls) encoding
+// performs zero heap allocations.
+func EncodeTo(buf []byte, m Message) []byte {
+	buf = append(buf, byte(m.Type()))
+	return m.appendTo(buf)
+}
+
+// Buf is a pooled, reusable encode buffer. Callers append into B
+// (typically via EncodeTo(b.B[:0], m), storing the result back into B so
+// growth is retained) and return the Buf with PutBuf once the encoded
+// bytes are no longer referenced.
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 512)} },
+}
+
+// GetBuf returns a pooled encode buffer with zero length.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf returns b to the pool. The caller must not retain b.B.
+func PutBuf(b *Buf) {
+	if cap(b.B) > MaxFrame {
+		// Don't let one huge message pin a giant buffer in the pool.
+		b.B = make([]byte, 0, 512)
+	}
+	bufPool.Put(b)
 }
 
 // Decode parses a message produced by Encode. It rejects trailing bytes.
@@ -147,6 +192,8 @@ func newMessage(t Type) (Message, error) {
 		return &P2b{}, nil
 	case TLearn:
 		return &Learn{}, nil
+	case TBatch:
+		return &Batch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}
@@ -211,7 +258,10 @@ func getBytes(b []byte) ([]byte, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if uint64(len(b)) < uint64(n) {
+	// Both checks must precede the allocation: the remaining-buffer check
+	// catches truncation, the absolute cap catches corrupt lengths on
+	// inputs that are not themselves frame-size-bounded.
+	if n > MaxFrame || uint64(len(b)) < uint64(n) {
 		return nil, nil, ErrTruncated
 	}
 	p := make([]byte, n)

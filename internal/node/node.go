@@ -26,6 +26,21 @@ type Options struct {
 	Log storage.Log
 	// QueueLen is the event queue capacity (default 8192).
 	QueueLen int
+	// BatchLimit caps how many queued events one loop turn drains before
+	// re-selecting (default 256). Larger batches amortize the commit scan
+	// and outgoing-message coalescing further but delay the flush.
+	BatchLimit int
+}
+
+// event is one unit of event-loop work. Deliveries and submissions are
+// passed as plain fields rather than closures so the hot path enqueues
+// no per-message heap allocation; fn covers timers and Do callbacks.
+type event struct {
+	fn    func()
+	m     msg.Message // non-nil: deliver m from `from`
+	from  types.ReplicaID
+	cmd   types.Command // valid when isCmd: submit cmd
+	isCmd bool
 }
 
 // Node hosts one replica: transport in, protocol logic on the loop
@@ -34,16 +49,22 @@ type Node struct {
 	id    types.ReplicaID
 	spec  []types.ReplicaID
 	tr    transport.Transport
+	bcast transport.Broadcaster // non-nil if tr supports encode-once fan-out
 	clk   clock.Clock
 	log   storage.Log
 	proto rsm.Protocol
 
-	events chan func()
+	batchLimit int
+
+	events chan event
 	quit   chan struct{}
 	done   chan struct{}
 }
 
-var _ rsm.Env = (*Node)(nil)
+var (
+	_ rsm.Env         = (*Node)(nil)
+	_ rsm.Multicaster = (*Node)(nil)
+)
 
 // New creates a node for replica id over tr. spec lists all replicas.
 // The protocol is attached with SetProtocol before Start.
@@ -60,18 +81,25 @@ func New(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, opt
 	if qlen <= 0 {
 		qlen = 8192
 	}
+	blimit := opts.BatchLimit
+	if blimit <= 0 {
+		blimit = 256
+	}
+	bcast, _ := tr.(transport.Broadcaster)
 	n := &Node{
-		id:     id,
-		spec:   append([]types.ReplicaID(nil), spec...),
-		tr:     tr,
-		clk:    clk,
-		log:    lg,
-		events: make(chan func(), qlen),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		id:         id,
+		spec:       append([]types.ReplicaID(nil), spec...),
+		tr:         tr,
+		bcast:      bcast,
+		clk:        clk,
+		log:        lg,
+		batchLimit: blimit,
+		events:     make(chan event, qlen),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
-		n.enqueue(func() { n.proto.Deliver(from, m) })
+		n.enqueue(event{m: m, from: from})
 	})
 	return n
 }
@@ -88,9 +116,23 @@ func (n *Node) Clock() int64 { return n.clk.Now() }
 // Send implements rsm.Env.
 func (n *Node) Send(to types.ReplicaID, m msg.Message) { n.tr.Send(to, m) }
 
+// SendAll implements rsm.Multicaster: one encode for the whole fan-out
+// when the transport supports it.
+func (n *Node) SendAll(dst []types.ReplicaID, m msg.Message) {
+	if n.bcast != nil {
+		n.bcast.Broadcast(dst, m)
+		return
+	}
+	for _, to := range dst {
+		if to != n.id {
+			n.tr.Send(to, m)
+		}
+	}
+}
+
 // After implements rsm.Env: the callback runs on the event loop.
 func (n *Node) After(d time.Duration, fn func()) {
-	time.AfterFunc(d, func() { n.enqueue(fn) })
+	time.AfterFunc(d, func() { n.enqueue(event{fn: fn}) })
 }
 
 // Log implements rsm.Env.
@@ -102,10 +144,10 @@ func (n *Node) SetProtocol(p rsm.Protocol) { n.proto = p }
 // Protocol returns the bound protocol.
 func (n *Node) Protocol() rsm.Protocol { return n.proto }
 
-// enqueue schedules fn on the loop, dropping it if the node stopped.
-func (n *Node) enqueue(fn func()) {
+// enqueue schedules ev on the loop, dropping it if the node stopped.
+func (n *Node) enqueue(ev event) {
 	select {
-	case n.events <- fn:
+	case n.events <- ev:
 	case <-n.quit:
 	}
 }
@@ -122,36 +164,68 @@ func (n *Node) Start() error {
 		<-n.done
 		return err
 	}
-	n.enqueue(n.proto.Start)
+	n.enqueue(event{fn: n.proto.Start})
 	return nil
 }
 
-// run is the event loop.
+// exec dispatches one event to the protocol.
+func (n *Node) exec(ev event) {
+	switch {
+	case ev.m != nil:
+		n.proto.Deliver(ev.from, ev.m)
+	case ev.isCmd:
+		n.proto.Submit(ev.cmd)
+	default:
+		ev.fn()
+	}
+}
+
+// run is the event loop. Each turn drains every event already queued
+// (up to BatchLimit) before re-selecting; when the protocol supports
+// batch delivery, the whole drained burst runs inside one
+// BeginBatch/EndBatch bracket so it triggers a single commit cascade
+// and one coalesced outgoing flush instead of per-message wakeups.
 func (n *Node) run() {
 	defer close(n.done)
+	bd, _ := n.proto.(rsm.BatchDeliverer)
 	for {
 		select {
 		case <-n.quit:
 			return
-		case fn := <-n.events:
-			fn()
+		case ev := <-n.events:
+			if bd != nil {
+				bd.BeginBatch()
+			}
+			n.exec(ev)
+			for drained := 1; drained < n.batchLimit; drained++ {
+				select {
+				case ev = <-n.events:
+					n.exec(ev)
+					continue
+				default:
+				}
+				break
+			}
+			if bd != nil {
+				bd.EndBatch()
+			}
 		}
 	}
 }
 
 // Submit hands a client command to the protocol, from any goroutine.
 func (n *Node) Submit(cmd types.Command) {
-	n.enqueue(func() { n.proto.Submit(cmd) })
+	n.enqueue(event{cmd: cmd, isCmd: true})
 }
 
 // Do runs fn on the event loop and waits for it — the safe way to read
 // protocol state from outside.
 func (n *Node) Do(fn func()) {
 	done := make(chan struct{})
-	n.enqueue(func() {
+	n.enqueue(event{fn: func() {
 		fn()
 		close(done)
-	})
+	}})
 	select {
 	case <-done:
 	case <-n.quit:

@@ -114,6 +114,11 @@ func (r *Replica) propose(cmd types.Command) {
 // Deliver implements rsm.Protocol.
 func (r *Replica) Deliver(from types.ReplicaID, m msg.Message) {
 	switch mm := m.(type) {
+	case *msg.Batch:
+		// Packed messages from one sender: process in order.
+		for _, sub := range mm.Msgs {
+			r.Deliver(from, sub)
+		}
 	case *msg.Forward:
 		if r.IsLeader() {
 			r.propose(mm.Cmd)

@@ -35,15 +35,43 @@ type Env interface {
 	Log() storage.Log
 }
 
+// Multicaster is optionally implemented by environments whose transport
+// can fan a message out to many peers while encoding it only once (see
+// transport.Broadcaster). Broadcast prefers it over per-peer Send.
+type Multicaster interface {
+	// SendAll transmits m to every replica in dst except the environment
+	// itself, with the same asynchronous best-effort semantics as Send.
+	SendAll(dst []types.ReplicaID, m msg.Message)
+}
+
 // Broadcast sends m to every replica in dst except env's own ID.
 // Protocols handle their own copy locally, mirroring the paper's
-// "send to all replicas in Config" pseudocode.
+// "send to all replicas in Config" pseudocode. If env implements
+// Multicaster, the message is encoded once for the whole fan-out
+// instead of once per peer.
 func Broadcast(env Env, dst []types.ReplicaID, m msg.Message) {
+	if mc, ok := env.(Multicaster); ok {
+		mc.SendAll(dst, m)
+		return
+	}
 	for _, id := range dst {
 		if id != env.ID() {
 			env.Send(id, m)
 		}
 	}
+}
+
+// BatchDeliverer is optionally implemented by protocols that can defer
+// work across a burst of events. The event loop brackets each drained
+// batch of queued events with BeginBatch/EndBatch; between the two, the
+// protocol may buffer outgoing messages (coalescing them into one
+// msg.Batch) and postpone its commit scan, so a burst of deliveries
+// costs one commit cascade and one outgoing frame instead of one each
+// per message. EndBatch is always invoked after the matching
+// BeginBatch, on the same event loop.
+type BatchDeliverer interface {
+	BeginBatch()
+	EndBatch()
 }
 
 // Protocol is a replication protocol instance bound to one replica.

@@ -79,7 +79,10 @@ type inprocEndpoint struct {
 	done    chan struct{}
 }
 
-var _ Transport = (*inprocEndpoint)(nil)
+var (
+	_ Transport   = (*inprocEndpoint)(nil)
+	_ Broadcaster = (*inprocEndpoint)(nil)
+)
 
 // Self implements Transport.
 func (e *inprocEndpoint) Self() types.ReplicaID { return e.self }
@@ -130,16 +133,53 @@ func (e *inprocEndpoint) run() {
 
 // Send implements Transport.
 func (e *inprocEndpoint) Send(to types.ReplicaID, m msg.Message) {
-	dst := e.hub.eps[to]
 	if e.hub.opts.Codec {
 		// Round-trip through the codec to charge serialization cost and
-		// guarantee no state is shared across replicas.
-		decoded, err := msg.Decode(msg.Encode(m))
+		// guarantee no state is shared across replicas. The encode buffer
+		// is pooled: steady-state encoding allocates nothing.
+		buf := msg.GetBuf()
+		buf.B = msg.EncodeTo(buf.B, m)
+		decoded, err := msg.Decode(buf.B)
+		msg.PutBuf(buf)
 		if err != nil {
 			return // undecodable message: drop, like a corrupt frame
 		}
 		m = decoded
 	}
+	e.deliver(to, m)
+}
+
+// Broadcast implements Broadcaster: in codec mode the message is
+// encoded once and decoded per recipient (each replica must still get
+// its own copy), instead of encoded once per recipient.
+func (e *inprocEndpoint) Broadcast(dst []types.ReplicaID, m msg.Message) {
+	if !e.hub.opts.Codec {
+		for _, to := range dst {
+			if to != e.self {
+				e.deliver(to, m)
+			}
+		}
+		return
+	}
+	buf := msg.GetBuf()
+	buf.B = msg.EncodeTo(buf.B, m)
+	for _, to := range dst {
+		if to == e.self {
+			continue
+		}
+		decoded, err := msg.Decode(buf.B)
+		if err != nil {
+			break // undecodable message: drop, like a corrupt frame
+		}
+		e.deliver(to, decoded)
+	}
+	msg.PutBuf(buf)
+}
+
+// deliver queues m on the destination inbox, stamping the emulated WAN
+// due time.
+func (e *inprocEndpoint) deliver(to types.ReplicaID, m msg.Message) {
+	dst := e.hub.eps[to]
 	d := delivery{from: e.self, m: m}
 	if lat := e.hub.opts.Latency; lat != nil {
 		d.due = time.Now().Add(lat.OneWay(e.self, to))

@@ -1,20 +1,31 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clockrsm/internal/msg"
 	"clockrsm/internal/types"
 )
 
-// maxFrame bounds a single wire frame (64 MiB); larger frames indicate
-// corruption and kill the connection.
-const maxFrame = 64 << 20
+// maxFrame bounds a single wire frame; larger frames indicate
+// corruption and kill the connection. It mirrors msg.MaxFrame so the
+// decoder and the framing layer enforce the same limit.
+const maxFrame = msg.MaxFrame
+
+// Writer coalescing limits: one flush covers at most maxWriteBatch
+// queued frames or maxWriteBytes of payload, whichever is hit first.
+const (
+	maxWriteBatch = 128
+	maxWriteBytes = 1 << 20
+	wireBufSize   = 64 << 10
+)
 
 // TCPOptions configure a TCP endpoint.
 type TCPOptions struct {
@@ -29,6 +40,12 @@ type TCPOptions struct {
 // Each endpoint listens on its own address and lazily dials peers;
 // frames carry a 4-byte length followed by the encoded message, and
 // every connection begins with a 4-byte handshake naming the sender.
+//
+// The send path is allocation-frugal: messages are encoded once into
+// pooled buffers (msg.GetBuf), broadcasts share a single encoded frame
+// across all peer outboxes via refcounting, and each writeLoop drains
+// its outbox through a bufio.Writer so one syscall flushes a whole
+// burst of frames.
 type TCPEndpoint struct {
 	self    types.ReplicaID
 	addrs   map[types.ReplicaID]string
@@ -44,13 +61,58 @@ type TCPEndpoint struct {
 	wg    sync.WaitGroup
 
 	closed bool
+
+	// Wire-level counters (atomic): frames handed to the kernel and
+	// flushes (≈ syscalls) performed. framesSent/flushes is the write
+	// coalescing factor.
+	framesSent atomic.Uint64
+	flushes    atomic.Uint64
 }
 
-var _ Transport = (*TCPEndpoint)(nil)
+var (
+	_ Transport   = (*TCPEndpoint)(nil)
+	_ Broadcaster = (*TCPEndpoint)(nil)
+)
 
 // tcpPeer is an outgoing connection with its queue and writer.
 type tcpPeer struct {
-	outbox chan []byte
+	outbox chan *outFrame
+}
+
+// outFrame is one encoded, length-prefixed wire frame. A broadcast
+// enqueues the same frame on every peer outbox; refs counts outstanding
+// holders so the backing pooled buffer is released exactly once.
+type outFrame struct {
+	data []byte   // [4-byte length | encoded message]; read-only once enqueued
+	buf  *msg.Buf // pooled backing storage of data
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(outFrame) }}
+
+// newFrame encodes m into a pooled buffer as a length-prefixed frame
+// with refs initial holders.
+func newFrame(m msg.Message, refs int32) *outFrame {
+	f := framePool.Get().(*outFrame)
+	f.buf = msg.GetBuf()
+	b := append(f.buf.B[:0], 0, 0, 0, 0)
+	b = msg.EncodeTo(b, m)
+	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
+	f.buf.B = b
+	f.data = b
+	f.refs.Store(refs)
+	return f
+}
+
+// release drops one hold on f, recycling its storage on the last drop.
+func (f *outFrame) release() {
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	msg.PutBuf(f.buf)
+	f.buf = nil
+	f.data = nil
+	framePool.Put(f)
 }
 
 // NewTCP creates a TCP endpoint for replica self; addrs maps every
@@ -87,6 +149,12 @@ func (t *TCPEndpoint) Addr() string {
 	return t.ln.Addr().String()
 }
 
+// WireStats returns the frames written and flushes performed so far;
+// frames/flushes is the achieved write-coalescing factor.
+func (t *TCPEndpoint) WireStats() (frames, flushes uint64) {
+	return t.framesSent.Load(), t.flushes.Load()
+}
+
 // Start implements Transport: it binds the listen socket and begins
 // accepting peer connections.
 func (t *TCPEndpoint) Start() error {
@@ -121,26 +189,37 @@ func (t *TCPEndpoint) acceptLoop() {
 	}
 }
 
-// readLoop consumes frames from one inbound connection.
+// readLoop consumes frames from one inbound connection. Reads go
+// through a bufio.Reader, and frame bodies land in one grow-only buffer
+// reused across frames (msg.Decode copies what it keeps), so the
+// steady-state read path performs no per-frame allocation.
 func (t *TCPEndpoint) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer t.untrack(conn)
+	br := bufio.NewReaderSize(conn, wireBufSize)
 	var hs [4]byte
-	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+	if _, err := io.ReadFull(br, hs[:]); err != nil {
 		return
 	}
 	from := types.ReplicaID(int32(binary.LittleEndian.Uint32(hs[:])))
+	if _, ok := t.addrs[from]; !ok || from == t.self {
+		return // handshake names an unknown replica: reject the connection
+	}
+	var buf []byte
 	for {
 		var lenBuf [4]byte
-		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if n == 0 || n > maxFrame {
 			return
 		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(conn, frame); err != nil {
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		frame := buf[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
 			return
 		}
 		m, err := msg.Decode(frame)
@@ -149,7 +228,7 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 		}
 		select {
 		case <-t.quit:
-			return
+			return // closing: drop instead of delivering into teardown
 		default:
 		}
 		t.handler(from, m)
@@ -158,55 +237,124 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 
 // Send implements Transport.
 func (t *TCPEndpoint) Send(to types.ReplicaID, m msg.Message) {
-	body := msg.Encode(m)
-	frame := make([]byte, 4+len(body))
-	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	f := newFrame(m, 1)
+	p, ok := t.peer(to)
+	if !ok {
+		f.release()
 		return
+	}
+	t.enqueue(p, f)
+}
+
+// Broadcast implements Broadcaster: the frame is encoded once and the
+// same bytes are queued to every destination.
+func (t *TCPEndpoint) Broadcast(dst []types.ReplicaID, m msg.Message) {
+	n := 0
+	for _, to := range dst {
+		if to != t.self {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	f := newFrame(m, int32(n))
+	for _, to := range dst {
+		if to == t.self {
+			continue
+		}
+		p, ok := t.peer(to)
+		if !ok {
+			f.release()
+			continue
+		}
+		t.enqueue(p, f)
+	}
+}
+
+// enqueue hands f to a peer queue, dropping it if the queue is full
+// (the protocols tolerate message loss).
+func (t *TCPEndpoint) enqueue(p *tcpPeer, f *outFrame) {
+	select {
+	case p.outbox <- f:
+	default:
+		f.release()
+	}
+}
+
+// peer returns (creating if needed) the outgoing queue for a replica.
+func (t *TCPEndpoint) peer(to types.ReplicaID) (*tcpPeer, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, false
 	}
 	p, ok := t.peers[to]
 	if !ok {
-		p = &tcpPeer{outbox: make(chan []byte, t.opts.OutboxLen)}
+		p = &tcpPeer{outbox: make(chan *outFrame, t.opts.OutboxLen)}
 		t.peers[to] = p
 		t.wg.Add(1)
 		go t.writeLoop(to, p)
 	}
-	t.mu.Unlock()
-
-	select {
-	case p.outbox <- frame:
-	default:
-		// Queue full: drop. The protocols tolerate message loss.
-	}
+	return p, true
 }
 
 // writeLoop owns the outgoing connection to one peer, redialing with
-// backoff on failure.
+// backoff on failure. It drains the outbox in batches and writes them
+// through a bufio.Writer, so a burst of queued frames costs one flush
+// (typically one syscall) instead of one write per frame.
 func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
+	var bw *bufio.Writer
 	defer func() {
 		if conn != nil {
 			t.untrack(conn)
 		}
 	}()
+	batch := make([]*outFrame, 0, maxWriteBatch)
+	releaseBatch := func() {
+		for i, f := range batch {
+			f.release()
+			batch[i] = nil
+		}
+		batch = batch[:0]
+	}
+	size := 0
+	// drainMore coalesces whatever is already queued into the current
+	// batch, up to the batch limits.
+	drainMore := func() {
+		for len(batch) < maxWriteBatch && size < maxWriteBytes {
+			select {
+			case f := <-p.outbox:
+				batch = append(batch, f)
+				size += len(f.data)
+				continue
+			default:
+			}
+			break
+		}
+	}
 	for {
-		var frame []byte
+		var f *outFrame
 		select {
 		case <-t.quit:
 			return
-		case frame = <-p.outbox:
+		case f = <-p.outbox:
 		}
+		batch = append(batch, f)
+		size = len(f.data)
+		drainMore()
 		for {
+			// Frames queued while we were disconnected or backing off join
+			// the batch: reconnection flushes the whole backlog at once.
+			drainMore()
 			if conn == nil {
 				c, err := net.Dial("tcp", t.addrs[to])
 				if err != nil {
 					select {
 					case <-t.quit:
+						releaseBatch()
 						return
 					case <-time.After(t.opts.DialRetry):
 						continue
@@ -220,17 +368,31 @@ func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
 				}
 				if !t.track(c) {
 					c.Close()
+					releaseBatch()
 					return
 				}
 				conn = c
+				bw = bufio.NewWriterSize(conn, wireBufSize)
 			}
-			if _, err := conn.Write(frame); err != nil {
+			var err error
+			for _, f := range batch {
+				if _, err = bw.Write(f.data); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
 				t.untrack(conn)
-				conn = nil
-				continue // redial and retry this frame
+				conn, bw = nil, nil
+				continue // redial and resend the whole batch
 			}
+			t.framesSent.Add(uint64(len(batch)))
+			t.flushes.Add(1)
 			break
 		}
+		releaseBatch()
 	}
 }
 

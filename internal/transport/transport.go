@@ -28,3 +28,15 @@ type Transport interface {
 	// Close stops the endpoint and releases resources.
 	Close() error
 }
+
+// Broadcaster is optionally implemented by transports that can fan one
+// message out to many peers while paying the serialization cost once.
+// Both transports in this package implement it: the TCP endpoint
+// encodes a single wire frame and enqueues the same (refcounted,
+// read-only) bytes on every peer outbox; the in-process hub in codec
+// mode encodes once and decodes per recipient.
+type Broadcaster interface {
+	// Broadcast sends m to every replica in dst except the endpoint
+	// itself, with the same best-effort semantics as Send.
+	Broadcast(dst []types.ReplicaID, m msg.Message)
+}
