@@ -13,6 +13,13 @@
 //	kvserver -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7200
 //	kvserver -id 1 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7201
 //	kvserver -id 2 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7202
+//
+// With -groups G every replica hosts G independent Clock-RSM groups
+// multiplexed over the same peer connections; the key space is
+// partitioned by hash (internal/shard), each command is routed to its
+// key's group, and groups commit in parallel. All replicas of one
+// cluster must use the same -groups value. With -log, group g persists
+// to <path>.g<g> (a single group keeps <path> itself).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +38,7 @@ import (
 	"clockrsm/internal/kvstore"
 	"clockrsm/internal/node"
 	"clockrsm/internal/rsm"
+	"clockrsm/internal/shard"
 	"clockrsm/internal/storage"
 	"clockrsm/internal/transport"
 	"clockrsm/internal/types"
@@ -39,18 +48,25 @@ func main() {
 	id := flag.Int("id", 0, "replica ID (index into -peers)")
 	peers := flag.String("peers", "", "comma-separated replica addresses, ordered by ID")
 	clientAddr := flag.String("client", "127.0.0.1:7200", "client listen address")
+	groups := flag.Int("groups", 1, "independent replication groups hosted by this node (key-sharded)")
 	delta := flag.Duration("delta", 5*time.Millisecond, "CLOCKTIME broadcast interval Δ (0 disables)")
 	suspect := flag.Duration("suspect", 0, "failure detector timeout (0 disables reconfiguration)")
-	logPath := flag.String("log", "", "stable log file (empty = in-memory)")
+	logPath := flag.String("log", "", "stable log file (empty = in-memory; group g uses <path>.g<g>)")
 	flag.Parse()
 
-	if err := run(*id, *peers, *clientAddr, *delta, *suspect, *logPath); err != nil {
+	if err := run(*id, *peers, *clientAddr, *groups, *delta, *suspect, *logPath); err != nil {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string, delta, suspect time.Duration, logPath string) error {
+func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Duration, logPath string) error {
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > transport.MaxGroups {
+		return fmt.Errorf("-groups %d exceeds the wire protocol's limit of %d", groups, transport.MaxGroups)
+	}
 	addrs := make(map[types.ReplicaID]string)
 	var spec []types.ReplicaID
 	for i, a := range strings.Split(peerList, ",") {
@@ -65,35 +81,61 @@ func run(id int, peerList, clientAddr string, delta, suspect time.Duration, logP
 		return fmt.Errorf("id %d out of range for %d peers", id, len(spec))
 	}
 
-	var lg storage.Log
-	replay := false
+	logs := make([]storage.Log, groups)
+	replay := make([]bool, groups)
 	if logPath != "" {
-		fl, err := storage.OpenFileLog(logPath, storage.FileLogOptions{Sync: true})
-		if err != nil {
+		if err := checkGroupLayout(logPath, groups); err != nil {
 			return err
 		}
-		lg = fl
-		replay = fl.Len() > 0
+		for g := 0; g < groups; g++ {
+			fl, err := storage.OpenFileLog(shard.LogPath(logPath, types.GroupID(g), groups), storage.FileLogOptions{Sync: true})
+			if err != nil {
+				return err
+			}
+			logs[g] = fl
+			replay[g] = fl.Len() > 0
+		}
 	}
 
-	store := kvstore.New()
-	srv := &server{pending: make(map[types.CommandID]chan []byte)}
-	tr := transport.NewTCP(types.ReplicaID(id), addrs, transport.TCPOptions{})
-	nd := node.New(types.ReplicaID(id), spec, tr, node.Options{Log: lg})
-	app := &rsm.App{SM: store, OnReply: srv.onReply}
-	rep := core.New(nd, app, core.Options{
-		ClockTimeInterval: delta,
-		SuspectTimeout:    suspect,
-		Replay:            replay,
+	tr := transport.NewTCP(types.ReplicaID(id), addrs, transport.TCPOptions{Groups: groups})
+	host, err := node.NewHost(types.ReplicaID(id), spec, tr, node.HostOptions{
+		Groups: groups,
+		NewLog: func(g types.GroupID) storage.Log { return logs[g] },
 	})
-	nd.SetProtocol(rep)
-	srv.node = nd
-	srv.replica = rep
-	if err := nd.Start(); err != nil {
+	if err != nil {
 		return err
 	}
-	defer nd.Stop()
-	log.Printf("replica r%d up; peers=%v client=%s", id, peerList, clientAddr)
+	srv := &server{
+		host:     host,
+		router:   shard.NewRouter(groups),
+		replicas: make([]*core.Replica, groups),
+		pending:  make(map[groupCmd]chan []byte),
+	}
+	for g := 0; g < groups; g++ {
+		gid := types.GroupID(g)
+		app := &rsm.App{SM: kvstore.New(), OnReply: func(res types.Result) { srv.onReply(gid, res) }}
+		nd := host.Group(gid)
+		rep := core.New(nd, app, core.Options{
+			ClockTimeInterval: delta,
+			SuspectTimeout:    suspect,
+			Replay:            replay[g],
+		})
+		nd.SetProtocol(rep)
+		srv.replicas[g] = rep
+	}
+	if logPath != "" {
+		// Record the group count only now that the logs opened and the
+		// host was built: a start that fails earlier leaves no marker
+		// blocking a corrected retry.
+		if err := recordGroupLayout(logPath, groups); err != nil {
+			return err
+		}
+	}
+	if err := host.Start(); err != nil {
+		return err
+	}
+	defer host.Stop()
+	log.Printf("replica r%d up; groups=%d peers=%v client=%s", id, groups, peerList, clientAddr)
 
 	ln, err := net.Listen("tcp", clientAddr)
 	if err != nil {
@@ -109,28 +151,74 @@ func run(id int, peerList, clientAddr string, delta, suspect time.Duration, logP
 	}
 }
 
-// server bridges client connections to the replica.
+// checkGroupLayout refuses to start when the on-disk logs were written
+// under a different -groups value: the group count determines both the
+// log file names and the key→group hash, so reusing the logs would
+// silently abandon (or misplace) committed data. The check is
+// read-only; the count in force is persisted by recordGroupLayout once
+// startup has gotten far enough that a marker cannot outlive a failed
+// first start.
+func checkGroupLayout(base string, groups int) error {
+	marker := base + ".groups"
+	if b, err := os.ReadFile(marker); err == nil {
+		prev, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr != nil {
+			return fmt.Errorf("corrupt group marker %s: %q", marker, b)
+		}
+		if prev != groups {
+			return fmt.Errorf("logs at %s were written with -groups %d; starting with -groups %d would silently ignore committed data (migrate or remove the logs and %s first)", base, prev, groups, marker)
+		}
+		return nil
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	// No marker: logs from before group sharding are single-group.
+	if groups > 1 {
+		if st, err := os.Stat(base); err == nil && st.Size() > 0 {
+			return fmt.Errorf("log %s exists from a single-group deployment; -groups %d would ignore it (migrate or remove it first)", base, groups)
+		}
+	}
+	return nil
+}
+
+// recordGroupLayout persists the group count checkGroupLayout validates
+// against on later starts.
+func recordGroupLayout(base string, groups int) error {
+	return os.WriteFile(base+".groups", []byte(strconv.Itoa(groups)+"\n"), 0o644)
+}
+
+// groupCmd keys an outstanding command: sequence numbers are allocated
+// per group, so the command ID alone is not unique across groups.
+type groupCmd struct {
+	g   types.GroupID
+	cid types.CommandID
+}
+
+// server bridges client connections to the replica's groups.
 type server struct {
-	node    *node.Node
-	replica *core.Replica
+	host     *node.Host
+	router   *shard.Router
+	replicas []*core.Replica
 
 	mu      sync.Mutex
-	pending map[types.CommandID]chan []byte
+	pending map[groupCmd]chan []byte
 }
 
 // onReply routes execution results back to waiting client connections.
-// It runs on the node's event loop.
-func (s *server) onReply(res types.Result) {
+// It runs on the owning group's event loop.
+func (s *server) onReply(g types.GroupID, res types.Result) {
+	key := groupCmd{g: g, cid: res.ID}
 	s.mu.Lock()
-	ch := s.pending[res.ID]
-	delete(s.pending, res.ID)
+	ch := s.pending[key]
+	delete(s.pending, key)
 	s.mu.Unlock()
 	if ch != nil {
 		ch <- res.Value
 	}
 }
 
-// serve handles one client connection.
+// serve handles one client connection, routing each command to its
+// key's group.
 func (s *server) serve(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -146,13 +234,16 @@ func (s *server) serve(conn net.Conn) {
 			w.Flush()
 			continue
 		}
+		g := s.router.GroupForPayload(payload)
+		nd := s.host.Group(g)
 		var cid types.CommandID
-		s.node.Do(func() { cid = s.replica.NextCommandID() })
+		nd.Do(func() { cid = s.replicas[g].NextCommandID() })
 		ch := make(chan []byte, 1)
+		key := groupCmd{g: g, cid: cid}
 		s.mu.Lock()
-		s.pending[cid] = ch
+		s.pending[key] = ch
 		s.mu.Unlock()
-		s.node.Submit(types.Command{ID: cid, Payload: payload})
+		nd.Submit(types.Command{ID: cid, Payload: payload})
 
 		select {
 		case v := <-ch:
@@ -163,7 +254,7 @@ func (s *server) serve(conn net.Conn) {
 			}
 		case <-time.After(30 * time.Second):
 			s.mu.Lock()
-			delete(s.pending, cid)
+			delete(s.pending, key)
 			s.mu.Unlock()
 			fmt.Fprintln(w, "ERR timeout")
 		}

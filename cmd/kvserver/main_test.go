@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -58,7 +59,14 @@ func freePorts(t *testing.T, n int) []string {
 	return addrs
 }
 
-func TestKVServerEndToEnd(t *testing.T) {
+func TestKVServerEndToEnd(t *testing.T) { testKVServerEndToEnd(t, 1) }
+
+// TestKVServerEndToEndSharded runs the same client script against a
+// cluster hosting four key-sharded groups per replica: routing is
+// transparent to clients and linearizable per key.
+func TestKVServerEndToEndSharded(t *testing.T) { testKVServerEndToEnd(t, 4) }
+
+func testKVServerEndToEnd(t *testing.T, groups int) {
 	if testing.Short() {
 		t.Skip("spawns a real TCP cluster")
 	}
@@ -70,7 +78,7 @@ func TestKVServerEndToEnd(t *testing.T) {
 		i := i
 		go func() {
 			// run blocks serving; errors after shutdown are expected.
-			_ = run(i, peers, clientAddrs[i], 5*time.Millisecond, 0, "")
+			_ = run(i, peers, clientAddrs[i], groups, 5*time.Millisecond, 0, "")
 		}()
 	}
 
@@ -121,5 +129,75 @@ func TestKVServerEndToEnd(t *testing.T) {
 	}
 	if resp := send(c0, r0, "BOGUS x"); !strings.HasPrefix(resp, "ERR") {
 		t.Fatalf("bogus command reply = %q", resp)
+	}
+	// Spread writes over many keys so a sharded cluster exercises every
+	// group, then read them back through another replica.
+	for i := 0; i < 8; i++ {
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if resp := send(c0, r0, "PUT "+key+" "+val); resp != "OK (nil)" {
+			t.Fatalf("PUT %s reply = %q", key, resp)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if resp := send(c1, r1, "GET "+key); resp != "OK "+val {
+			t.Fatalf("GET %s via r1 reply = %q, want %q", key, resp, "OK "+val)
+		}
+	}
+}
+
+func TestCheckGroupLayoutGuardsRegrouping(t *testing.T) {
+	base := t.TempDir() + "/rsm.log"
+	// A first start passes the check, then records the count.
+	if err := checkGroupLayout(base, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := recordGroupLayout(base, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Same count restarts fine; a different count is refused.
+	if err := checkGroupLayout(base, 4); err != nil {
+		t.Fatalf("same-count restart refused: %v", err)
+	}
+	if err := checkGroupLayout(base, 2); err == nil {
+		t.Fatal("regrouping 4 -> 2 over existing logs was allowed")
+	}
+	if err := checkGroupLayout(base, 1); err == nil {
+		t.Fatal("regrouping 4 -> 1 over existing logs was allowed")
+	}
+}
+
+func TestCheckGroupLayoutFailedFirstStartLeavesNoMarker(t *testing.T) {
+	// A start that fails after the check but before recordGroupLayout
+	// must not block a retry with a different count.
+	base := t.TempDir() + "/rsm.log"
+	if err := checkGroupLayout(base, 5000); err != nil {
+		t.Fatal(err)
+	}
+	// No recordGroupLayout: startup died later (e.g. invalid flags).
+	if err := checkGroupLayout(base, 4); err != nil {
+		t.Fatalf("retry after failed first start refused: %v", err)
+	}
+}
+
+func TestCheckGroupLayoutLegacySingleGroupLog(t *testing.T) {
+	base := t.TempDir() + "/rsm.log"
+	// A non-empty pre-sharding log (no marker) must not be silently
+	// abandoned by a multi-group start…
+	if err := os.WriteFile(base, []byte("entries"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkGroupLayout(base, 4); err == nil {
+		t.Fatal("multi-group start over a legacy single-group log was allowed")
+	}
+	// …but a single-group start adopts it and records the marker.
+	if err := checkGroupLayout(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := recordGroupLayout(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkGroupLayout(base, 4); err == nil {
+		t.Fatal("regrouping 1 -> 4 over existing logs was allowed")
 	}
 }

@@ -13,7 +13,11 @@
 //   - internal/sim: a deterministic discrete-event simulator that
 //     replays the paper's EC2 latency matrix (Table III);
 //   - internal/node, internal/transport: a real runtime (goroutine event
-//     loops over in-process or TCP transports);
+//     loops over in-process or TCP transports), including node.Host — a
+//     multi-group engine running G independent Clock-RSM groups per
+//     node over one shared, group-tagged transport;
+//   - internal/shard: the key→group router that partitions the key
+//     space over a host's replication groups;
 //   - internal/analysis: the analytical latency model of Table II and
 //     the numerical study of Figure 7 / Table IV;
 //   - internal/runner: the experiment harness regenerating every table
@@ -50,9 +54,19 @@
 //     The node event loop drains queued events in batches bracketed
 //     by BeginBatch/EndBatch, so a burst of deliveries triggers one
 //     commit cascade.
+//   - Group sharding: a node.Host runs G independent Clock-RSM groups,
+//     each with its own event loop, log and commit cascade, over ONE
+//     transport endpoint per node — frames carry a 4-byte group tag
+//     (negotiated by a versioned handshake, so the message codec is
+//     untouched and legacy peers interoperate on group 0), and
+//     internal/shard hashes each key into its group. Commands on
+//     different keys commit in parallel on multi-core hardware while
+//     per-key operations keep a total order, so the single-group
+//     throughput ceiling becomes a per-group ceiling.
 //
 // BenchmarkHotPath (hotpath_bench_test.go) measures the end-to-end
-// effect; BENCH_*.json records the trajectory across PRs.
+// effect and BenchmarkHotPathMultiGroup its sharded variant;
+// BENCH_*.json records the trajectory across PRs.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results. The root-level

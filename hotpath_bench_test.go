@@ -12,13 +12,14 @@ import (
 	"clockrsm/internal/runner"
 )
 
-func runHotPath(b *testing.B, payload int) {
+func runHotPath(b *testing.B, payload, groups int) {
 	b.Helper()
 	var ops float64
 	for i := 0; i < b.N; i++ {
 		res, err := runner.RunThroughput(runner.ThroughputConfig{
 			Protocol:    runner.ClockRSM,
 			PayloadSize: payload,
+			Groups:      groups,
 			Warmup:      300 * time.Millisecond,
 			Duration:    2 * time.Second,
 		})
@@ -33,11 +34,20 @@ func runHotPath(b *testing.B, payload int) {
 // BenchmarkHotPath saturates Clock-RSM with 100-byte commands (the
 // paper's medium size) and reports committed commands per second.
 func BenchmarkHotPath(b *testing.B) {
-	runHotPath(b, 100)
+	runHotPath(b, 100, 1)
 }
 
 // BenchmarkHotPathSmall uses 10-byte commands, where per-message CPU
 // overhead (encode, frame, syscall) dominates payload cost.
 func BenchmarkHotPathSmall(b *testing.B) {
-	runHotPath(b, 10)
+	runHotPath(b, 10, 1)
+}
+
+// BenchmarkHotPathMultiGroup shards the same five-node cluster across
+// four independent Clock-RSM groups multiplexed over one transport
+// endpoint per replica, with commands key-routed by internal/shard.
+// Aggregate ops/s scales with groups until cores saturate; BENCH_2.json
+// records the ratio against BenchmarkHotPath on the same hardware.
+func BenchmarkHotPathMultiGroup(b *testing.B) {
+	runHotPath(b, 100, 4)
 }

@@ -112,6 +112,7 @@ type Replica struct {
 	committed   uint64
 	waits       uint64 // times the line-8 wait actually blocked
 	checkpoints uint64
+	sweptAcks   uint64 // earlyAcks entries reclaimed by the periodic sweep
 }
 
 var _ rsm.Protocol = (*Replica)(nil)
@@ -198,6 +199,14 @@ func (r *Replica) Checkpoints() uint64 { return r.checkpoints }
 
 // PendingLen returns the number of uncommitted pending commands.
 func (r *Replica) PendingLen() int { return r.pending.Len() }
+
+// EarlyAckLen returns the number of acknowledgements parked waiting for
+// their PREPARE (empty in steady state).
+func (r *Replica) EarlyAckLen() int { return len(r.earlyAcks) }
+
+// SweptAcks returns how many parked acknowledgements the periodic
+// CLOCKTIME sweep has reclaimed.
+func (r *Replica) SweptAcks() uint64 { return r.sweptAcks }
 
 // NextCommandID allocates a command identifier for a local client.
 func (r *Replica) NextCommandID() types.CommandID {
@@ -399,7 +408,10 @@ func (r *Replica) onClockTime(from types.ReplicaID, m *msg.ClockTime) {
 }
 
 // clockTimeTick implements Algorithm 2 line 1: broadcast the clock if
-// nothing carrying a newer timestamp was sent in the last Δ.
+// nothing carrying a newer timestamp was sent in the last Δ. The tick
+// also sweeps earlyAcks, so acknowledgements whose PREPAREs were
+// permanently lost are reclaimed within O(Δ) of the commit frontier
+// passing them instead of lingering until the next reconfiguration.
 func (r *Replica) clockTimeTick() {
 	d := r.opts.ClockTimeInterval
 	now := r.env.Clock()
@@ -407,7 +419,30 @@ func (r *Replica) clockTimeTick() {
 		r.lastSent = now
 		r.broadcast(&msg.ClockTime{Epoch: r.epoch, TS: now})
 	}
+	r.sweepEarlyAcks()
 	r.env.After(d, r.clockTimeTick)
+}
+
+// sweepEarlyAcks drops parked acknowledgements for timestamps at or
+// below the commit frontier. Commits happen strictly in timestamp
+// order, so such an entry can never be consumed again: either its
+// command committed without it, or its PREPARE was lost and any late
+// arrival will be rejected as a stale duplicate (onPrepare's
+// lastCommitted guard). Entries above the frontier are kept — their
+// PREPARE may still be in flight. Under sustained message loss the
+// frontier keeps advancing past lost timestamps (they never enter the
+// pending set, so they don't block commitment), which bounds the
+// table's size by the loss rate times the sweep interval.
+func (r *Replica) sweepEarlyAcks() {
+	if len(r.earlyAcks) == 0 {
+		return
+	}
+	for ts := range r.earlyAcks {
+		if ts.LessEq(r.lastCommitted) {
+			delete(r.earlyAcks, ts)
+			r.sweptAcks++
+		}
+	}
 }
 
 // observe folds a timestamp from replica k into LatestTV. Senders emit

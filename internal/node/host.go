@@ -1,0 +1,145 @@
+package node
+
+import (
+	"fmt"
+
+	"clockrsm/internal/clock"
+	"clockrsm/internal/msg"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// HostOptions configure a multi-group Host.
+type HostOptions struct {
+	// Groups is the number of independent replication groups this node
+	// hosts (default 1).
+	Groups int
+	// Clock is the physical clock shared by every group; nil uses a
+	// monotonic wrapper over the system clock. One clock for all groups
+	// keeps cross-group timestamps comparable on one node and mirrors
+	// the paper's single clock_gettime source per machine.
+	Clock clock.Clock
+	// NewLog constructs group g's stable log; nil gives every group its
+	// own in-memory log.
+	NewLog func(g types.GroupID) storage.Log
+	// QueueLen is the per-group event queue capacity (default 8192).
+	QueueLen int
+	// BatchLimit caps events drained per loop turn per group (default
+	// 256).
+	BatchLimit int
+}
+
+// Host runs G independent replication groups on one node. Each group
+// is a full protocol instance with its own single-goroutine event
+// loop, stable log and state machine; all groups share one transport
+// endpoint (and therefore one connection set), one physical clock and
+// one replica identity. Traffic is demultiplexed by the transport's
+// group tag, so adding groups adds event loops — and, on multi-core
+// hardware, parallel commit cascades — without adding sockets.
+//
+// Wire a Host like a set of Nodes: attach a protocol to every group
+// with Group(g).SetProtocol, then Start the host once.
+type Host struct {
+	id    types.ReplicaID
+	tr    transport.Transport
+	nodes []*Node
+}
+
+// NewHost creates a host for replica id over tr with opts.Groups
+// groups. tr must implement transport.GroupTransport when more than
+// one group is requested.
+func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, opts HostOptions) (*Host, error) {
+	g := opts.Groups
+	if g <= 0 {
+		g = 1
+	}
+	gt, isGT := tr.(transport.GroupTransport)
+	if g > 1 {
+		if !isGT {
+			return nil, fmt.Errorf("host %v: transport %T does not multiplex groups", id, tr)
+		}
+		if gt.Groups() < g {
+			return nil, fmt.Errorf("host %v: transport configured for %d groups, host wants %d", id, gt.Groups(), g)
+		}
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewMonotonic(clock.System{})
+	}
+	h := &Host{id: id, tr: tr}
+	for i := 0; i < g; i++ {
+		gid := types.GroupID(i)
+		var lg storage.Log
+		if opts.NewLog != nil {
+			lg = opts.NewLog(gid)
+		}
+		n := newNode(id, spec, tr, gid, true, Options{
+			Clock:      clk,
+			Log:        lg,
+			QueueLen:   opts.QueueLen,
+			BatchLimit: opts.BatchLimit,
+		})
+		if isGT {
+			gt.SetGroupHandler(gid, func(from types.ReplicaID, m msg.Message) {
+				n.enqueue(event{m: m, from: from})
+			})
+		} else {
+			tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
+				n.enqueue(event{m: m, from: from})
+			})
+		}
+		h.nodes = append(h.nodes, n)
+	}
+	return h, nil
+}
+
+// ID returns the replica identity shared by every group.
+func (h *Host) ID() types.ReplicaID { return h.id }
+
+// Groups returns the number of groups hosted.
+func (h *Host) Groups() int { return len(h.nodes) }
+
+// Group returns group g's node — an rsm.Env for protocol construction
+// and the handle for Submit/Do against that group.
+func (h *Host) Group(g types.GroupID) *Node { return h.nodes[g] }
+
+// Start launches every group's event loop, then the shared transport,
+// then starts every protocol on its loop. Every group must have a
+// protocol attached.
+func (h *Host) Start() error {
+	for _, n := range h.nodes {
+		if n.proto == nil {
+			return fmt.Errorf("host %v: group %v has no protocol", h.id, n.group)
+		}
+	}
+	started := 0
+	for _, n := range h.nodes {
+		if err := n.startLoop(); err != nil {
+			for _, m := range h.nodes[:started] {
+				m.stopLoop()
+			}
+			return err
+		}
+		started++
+	}
+	if err := h.tr.Start(); err != nil {
+		for _, n := range h.nodes {
+			n.stopLoop()
+		}
+		return err
+	}
+	for _, n := range h.nodes {
+		n.enqueue(event{fn: n.proto.Start})
+	}
+	return nil
+}
+
+// Stop terminates every group's event loop and closes the shared
+// transport. It is idempotent.
+func (h *Host) Stop() {
+	for _, n := range h.nodes {
+		n.stopLoop()
+	}
+	h.tr.Close()
+}

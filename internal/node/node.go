@@ -2,6 +2,11 @@
 // instance in a single-goroutine event loop, so the protocol code (which
 // is written lock-free against rsm.Env) runs identically to the
 // simulator but over real transports and the real clock.
+//
+// A node can host one protocol instance (New) or — via Host — G
+// independent replication groups, each with its own event loop, log and
+// protocol, multiplexed over one shared transport, clock and connection
+// set (see internal/shard for the key→group router).
 package node
 
 import (
@@ -43,8 +48,11 @@ type event struct {
 	isCmd bool
 }
 
-// Node hosts one replica: transport in, protocol logic on the loop
-// goroutine, transport out.
+// Node hosts one replica group: transport in, protocol logic on the
+// loop goroutine, transport out. A standalone Node (New) owns its
+// transport and serves group 0; a Node obtained from a Host shares the
+// transport with its sibling groups and tags its traffic with its
+// group ID.
 type Node struct {
 	id    types.ReplicaID
 	spec  []types.ReplicaID
@@ -53,6 +61,20 @@ type Node struct {
 	clk   clock.Clock
 	log   storage.Log
 	proto rsm.Protocol
+
+	// group tags outgoing traffic when the transport is shared by a
+	// Host; gt/gbcast are the group-aware transport views (nil for a
+	// standalone node, which talks to the plain Transport directly).
+	group  types.GroupID
+	gt     transport.GroupTransport
+	gbcast transport.GroupBroadcaster
+	// shared marks a Host-managed node: the Host starts and closes the
+	// transport exactly once for all groups.
+	shared bool
+	// loopStarted records that run() was launched, so stopping a node
+	// whose Start never happened (or failed early) does not wait on a
+	// done channel nothing will close.
+	loopStarted bool
 
 	batchLimit int
 
@@ -69,6 +91,16 @@ var (
 // New creates a node for replica id over tr. spec lists all replicas.
 // The protocol is attached with SetProtocol before Start.
 func New(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, opts Options) *Node {
+	n := newNode(id, spec, tr, 0, false, opts)
+	tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
+		n.enqueue(event{m: m, from: from})
+	})
+	return n
+}
+
+// newNode builds the event loop without installing a transport handler;
+// New and Host wire delivery themselves.
+func newNode(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, group types.GroupID, shared bool, opts Options) *Node {
 	clk := opts.Clock
 	if clk == nil {
 		clk = clock.NewMonotonic(clock.System{})
@@ -93,14 +125,24 @@ func New(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, opt
 		bcast:      bcast,
 		clk:        clk,
 		log:        lg,
+		group:      group,
+		shared:     shared,
 		batchLimit: blimit,
 		events:     make(chan event, qlen),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
-	tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
-		n.enqueue(event{m: m, from: from})
-	})
+	if shared {
+		// Host-managed: tag traffic with the group and route through the
+		// group-aware transport views.
+		n.gt, _ = tr.(transport.GroupTransport)
+		n.gbcast, _ = tr.(transport.GroupBroadcaster)
+		if group != 0 && n.gbcast == nil {
+			// An untagged broadcast would land on group 0; fall back to
+			// per-peer group-tagged sends instead.
+			n.bcast = nil
+		}
+	}
 	return n
 }
 
@@ -110,22 +152,36 @@ func (n *Node) ID() types.ReplicaID { return n.id }
 // Spec implements rsm.Env.
 func (n *Node) Spec() []types.ReplicaID { return n.spec }
 
+// Group returns the replication group this node serves (0 for a
+// standalone node).
+func (n *Node) Group() types.GroupID { return n.group }
+
 // Clock implements rsm.Env.
 func (n *Node) Clock() int64 { return n.clk.Now() }
 
 // Send implements rsm.Env.
-func (n *Node) Send(to types.ReplicaID, m msg.Message) { n.tr.Send(to, m) }
+func (n *Node) Send(to types.ReplicaID, m msg.Message) {
+	if n.gt != nil {
+		n.gt.SendGroup(to, n.group, m)
+		return
+	}
+	n.tr.Send(to, m)
+}
 
 // SendAll implements rsm.Multicaster: one encode for the whole fan-out
 // when the transport supports it.
 func (n *Node) SendAll(dst []types.ReplicaID, m msg.Message) {
+	if n.gbcast != nil {
+		n.gbcast.BroadcastGroup(dst, n.group, m)
+		return
+	}
 	if n.bcast != nil {
 		n.bcast.Broadcast(dst, m)
 		return
 	}
 	for _, to := range dst {
 		if to != n.id {
-			n.tr.Send(to, m)
+			n.Send(to, m)
 		}
 	}
 }
@@ -153,19 +209,43 @@ func (n *Node) enqueue(ev event) {
 }
 
 // Start launches the event loop and the transport, then starts the
-// protocol on the loop.
+// protocol on the loop. For Host-managed nodes the Host starts the
+// shared transport once after every group's loop is running.
 func (n *Node) Start() error {
-	if n.proto == nil {
-		return fmt.Errorf("node %v has no protocol", n.id)
-	}
-	go n.run()
-	if err := n.tr.Start(); err != nil {
-		close(n.quit)
-		<-n.done
+	if err := n.startLoop(); err != nil {
 		return err
+	}
+	if !n.shared {
+		if err := n.tr.Start(); err != nil {
+			n.stopLoop()
+			return err
+		}
 	}
 	n.enqueue(event{fn: n.proto.Start})
 	return nil
+}
+
+// startLoop launches the event loop goroutine.
+func (n *Node) startLoop() error {
+	if n.proto == nil {
+		return fmt.Errorf("node %v has no protocol", n.id)
+	}
+	n.loopStarted = true
+	go n.run()
+	return nil
+}
+
+// stopLoop terminates the event loop without touching the transport.
+func (n *Node) stopLoop() {
+	select {
+	case <-n.quit:
+		return // already stopped
+	default:
+	}
+	close(n.quit)
+	if n.loopStarted {
+		<-n.done
+	}
 }
 
 // exec dispatches one event to the protocol.
@@ -232,7 +312,8 @@ func (n *Node) Do(fn func()) {
 	}
 }
 
-// Stop terminates the event loop and closes the transport.
+// Stop terminates the event loop and closes the transport. Host-managed
+// nodes leave the shared transport to the Host.
 func (n *Node) Stop() {
 	select {
 	case <-n.quit:
@@ -241,5 +322,7 @@ func (n *Node) Stop() {
 	}
 	close(n.quit)
 	<-n.done
-	n.tr.Close()
+	if !n.shared {
+		n.tr.Close()
+	}
 }

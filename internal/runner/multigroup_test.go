@@ -1,0 +1,233 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/shard"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// mgHarness drives a real-runtime sharded cluster (node.Host over the
+// in-process codec transport) and records per-group histories. Keys are
+// partitioned over groups by shard.Router, so every key's operations
+// land in exactly one group's total order: per-key linearizability of
+// the sharded store reduces to per-group agreement + sequential
+// semantics + real-time order, which verify checks.
+type mgHarness struct {
+	t      *testing.T
+	groups int
+	router *shard.Router
+	hosts  []*node.Host
+
+	mu       sync.Mutex
+	orders   [][][]types.CommandID // [replica][group] execution order
+	payloads map[types.CommandID][]byte
+	results  map[types.CommandID][]byte
+	submits  map[types.CommandID]time.Time
+	replies  map[types.CommandID]time.Time
+	waiters  map[types.CommandID]chan struct{}
+}
+
+func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
+	t.Helper()
+	h := &mgHarness{
+		t:        t,
+		groups:   groups,
+		router:   shard.NewRouter(groups),
+		orders:   make([][][]types.CommandID, replicas),
+		payloads: make(map[types.CommandID][]byte),
+		results:  make(map[types.CommandID][]byte),
+		submits:  make(map[types.CommandID]time.Time),
+		replies:  make(map[types.CommandID]time.Time),
+		waiters:  make(map[types.CommandID]chan struct{}),
+	}
+	hub := transport.NewHub(replicas, transport.HubOptions{Codec: true, Groups: groups})
+	t.Cleanup(hub.Close)
+	spec := make([]types.ReplicaID, replicas)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+	for i := 0; i < replicas; i++ {
+		i := i
+		h.orders[i] = make([][]types.CommandID, groups)
+		host, err := node.NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.HostOptions{Groups: groups})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < groups; g++ {
+			g := g
+			app := &rsm.App{
+				SM: kvstore.New(),
+				OnCommit: func(ts types.Timestamp, cmd types.Command) {
+					h.mu.Lock()
+					h.orders[i][g] = append(h.orders[i][g], cmd.ID)
+					h.mu.Unlock()
+				},
+				OnReply: func(res types.Result) {
+					now := time.Now()
+					h.mu.Lock()
+					h.results[res.ID] = res.Value
+					h.replies[res.ID] = now
+					ch := h.waiters[res.ID]
+					h.mu.Unlock()
+					if ch != nil {
+						close(ch)
+					}
+				},
+			}
+			nd := host.Group(types.GroupID(g))
+			nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 2 * time.Millisecond}))
+		}
+		h.hosts = append(h.hosts, host)
+	}
+	for _, host := range h.hosts {
+		if err := host.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, host := range h.hosts {
+			host.Stop()
+		}
+	})
+	return h
+}
+
+// call submits one command at a replica (routed to its key's group) and
+// waits for the reply, recording the real-time window.
+func (h *mgHarness) call(at types.ReplicaID, cid types.CommandID, key string, payload []byte) {
+	g := h.router.Group(key)
+	ch := make(chan struct{})
+	h.mu.Lock()
+	h.payloads[cid] = payload
+	h.waiters[cid] = ch
+	h.submits[cid] = time.Now()
+	h.mu.Unlock()
+	h.hosts[at].Group(g).Submit(types.Command{ID: cid, Payload: payload})
+	select {
+	case <-ch:
+	case <-time.After(20 * time.Second):
+		h.t.Errorf("timeout waiting for %v (key %q, group %v)", cid, key, g)
+	}
+}
+
+// verify checks, per group: agreement of the execution order across
+// replicas, sequential kvstore semantics of every client reply, and
+// real-time order between non-overlapping operations.
+func (h *mgHarness) verify(total int) {
+	h.t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	executed := 0
+	for g := 0; g < h.groups; g++ {
+		ref := h.orders[0][g]
+		for i := 1; i < len(h.orders); i++ {
+			ord := h.orders[i][g]
+			if len(ord) != len(ref) {
+				h.t.Fatalf("group %d: replica %d executed %d commands, replica 0 executed %d", g, i, len(ord), len(ref))
+			}
+			for j := range ord {
+				if ord[j] != ref[j] {
+					h.t.Fatalf("group %d: execution order diverges at %d", g, j)
+				}
+			}
+		}
+		executed += len(ref)
+
+		// Sequential semantics: replaying the group's execution order
+		// must reproduce every reply its clients saw.
+		replay := kvstore.New()
+		pos := make(map[types.CommandID]int, len(ref))
+		for i, cid := range ref {
+			pos[cid] = i
+			want := replay.Apply(h.payloads[cid])
+			got, ok := h.results[cid]
+			if !ok {
+				h.t.Fatalf("group %d: no reply for %v", g, cid)
+			}
+			if string(want) != string(got) {
+				h.t.Fatalf("group %d: command %d (%v): reply %q, sequential replay says %q", g, i, cid, got, want)
+			}
+		}
+		// Real-time order within the group: if c1's reply precedes c2's
+		// submission, c1 executes before c2.
+		for c1, p1 := range pos {
+			for c2, p2 := range pos {
+				if h.replies[c1].Before(h.submits[c2]) && p1 >= p2 {
+					h.t.Fatalf("group %d: real-time violation: %v replied before %v was submitted but executed at %d ≥ %d",
+						g, c1, c2, p1, p2)
+				}
+			}
+		}
+	}
+	if executed != total {
+		h.t.Fatalf("executed %d commands across groups, want %d", executed, total)
+	}
+}
+
+// TestMultiGroupLinearizability hammers a sharded 3-replica × 3-group
+// cluster with concurrent clients over a small contended key space and
+// checks per-key (= per-group) linearizability from the recorded
+// histories.
+func TestMultiGroupLinearizability(t *testing.T) {
+	const (
+		replicas = 3
+		groups   = 3
+		clients  = 6
+		perCli   = 25
+		keys     = 8
+	)
+	h := newMGHarness(t, replicas, groups)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 97))
+			for k := 0; k < perCli; k++ {
+				at := types.ReplicaID(rng.Intn(replicas))
+				key := fmt.Sprintf("k%d", rng.Intn(keys))
+				cid := types.CommandID{Origin: at, Seq: uint64(c)<<32 | uint64(k+1)}
+				var payload []byte
+				switch rng.Intn(3) {
+				case 0:
+					payload = kvstore.Put(key, []byte(fmt.Sprintf("v-%d-%d", c, k)))
+				case 1:
+					payload = kvstore.Get(key)
+				default:
+					payload = kvstore.Delete(key)
+				}
+				h.call(at, cid, key, payload)
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Let trailing commits land on every replica before comparing.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		done := true
+		for g := 0; g < groups; g++ {
+			for i := 1; i < replicas; i++ {
+				if len(h.orders[i][g]) != len(h.orders[0][g]) {
+					done = false
+				}
+			}
+		}
+		h.mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.verify(clients * perCli)
+}

@@ -9,6 +9,7 @@ import (
 	"clockrsm/internal/kvstore"
 	"clockrsm/internal/node"
 	"clockrsm/internal/rsm"
+	"clockrsm/internal/shard"
 	"clockrsm/internal/storage"
 	"clockrsm/internal/transport"
 	"clockrsm/internal/types"
@@ -26,6 +27,12 @@ type ThroughputConfig struct {
 	Protocol          Protocol
 	Leader            int
 	ClientsPerReplica int
+	// Groups shards the run across that many independent replication
+	// groups per node (default 1), multiplexed over one shared
+	// transport endpoint per replica. Clients pick keys and the
+	// shard.Router dispatches each command to its key's group, the
+	// deployment model of `kvserver -groups`.
+	Groups int
 	// PayloadSize is the command size (paper: 10, 100, 1000 bytes).
 	PayloadSize int
 	Warmup      time.Duration
@@ -37,8 +44,13 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	if c.Replicas == 0 {
 		c.Replicas = 5
 	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
 	if c.ClientsPerReplica == 0 {
-		c.ClientsPerReplica = 16
+		// Saturation is per group: each group needs its own closed-loop
+		// client population.
+		c.ClientsPerReplica = 16 * c.Groups
 	}
 	if c.PayloadSize == 0 {
 		c.PayloadSize = 100
@@ -56,9 +68,24 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 type ThroughputResult struct {
 	Protocol    Protocol
 	PayloadSize int
+	Groups      int
 	// OpsPerSec is committed client commands per second, summed over
-	// all replicas.
+	// all replicas (and, in a sharded run, all groups).
 	OpsPerSec float64
+}
+
+// clientKey picks the key client cli writes and the group it routes
+// to: clients are spread round-robin over groups, and each probes for
+// a key the router actually maps to its group, so the run exercises
+// the same key→group dispatch a sharded deployment performs.
+func clientKey(router *shard.Router, cli int) (string, types.GroupID) {
+	want := types.GroupID(cli % router.Groups())
+	for salt := 0; ; salt++ {
+		key := fmt.Sprintf("key-%d-%d", cli, salt)
+		if router.Group(key) == want {
+			return key, want
+		}
+	}
 }
 
 // RunThroughput saturates a local cluster with closed-loop zero-think
@@ -66,8 +93,9 @@ type ThroughputResult struct {
 func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Replicas
-	hub := transport.NewHub(n, transport.HubOptions{Codec: true})
+	hub := transport.NewHub(n, transport.HubOptions{Codec: true, Groups: cfg.Groups})
 	defer hub.Close()
+	router := shard.NewRouter(cfg.Groups)
 
 	spec := make([]types.ReplicaID, n)
 	for i := range spec {
@@ -79,7 +107,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	var completed atomic.Uint64
 	var measuring atomic.Bool
 
-	nodes := make([]*node.Node, n)
+	hosts := make([]*node.Host, n)
 	for i := 0; i < n; i++ {
 		i := i
 		replyChans[i] = make([]chan struct{}, cfg.ClientsPerReplica)
@@ -89,39 +117,46 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		// The paper's throughput runs log to main memory with recovery out
 		// of scope; NullLog keeps long saturation runs from accumulating
 		// unbounded history (memory pressure would otherwise dominate).
-		nd := node.New(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.Options{
-			Log: storage.NewNullLog(),
+		host, err := node.NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.HostOptions{
+			Groups: cfg.Groups,
+			NewLog: func(types.GroupID) storage.Log { return storage.NewNullLog() },
 		})
-		app := &rsm.App{
-			SM: kvstore.New(),
-			OnReply: func(res types.Result) {
-				if measuring.Load() {
-					completed.Add(1)
-				}
-				cli := int(res.ID.Seq >> 32)
-				if cli < len(replyChans[i]) {
-					select {
-					case replyChans[i][cli] <- struct{}{}:
-					default:
-					}
-				}
-			},
-		}
-		proto, err := newProtocol(cfg.Protocol, nd, app, types.ReplicaID(cfg.Leader), 5*time.Millisecond)
 		if err != nil {
 			return nil, err
 		}
-		nd.SetProtocol(proto)
-		nodes[i] = nd
+		for g := 0; g < cfg.Groups; g++ {
+			app := &rsm.App{
+				SM: kvstore.New(),
+				OnReply: func(res types.Result) {
+					if measuring.Load() {
+						completed.Add(1)
+					}
+					cli := int(res.ID.Seq >> 32)
+					if cli < len(replyChans[i]) {
+						select {
+						case replyChans[i][cli] <- struct{}{}:
+						default:
+						}
+					}
+				},
+			}
+			nd := host.Group(types.GroupID(g))
+			proto, err := newProtocol(cfg.Protocol, nd, app, types.ReplicaID(cfg.Leader), 5*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			nd.SetProtocol(proto)
+		}
+		hosts[i] = host
 	}
-	for _, nd := range nodes {
-		if err := nd.Start(); err != nil {
-			return nil, fmt.Errorf("start node: %w", err)
+	for _, host := range hosts {
+		if err := host.Start(); err != nil {
+			return nil, fmt.Errorf("start host: %w", err)
 		}
 	}
 	defer func() {
-		for _, nd := range nodes {
-			nd.Stop()
+		for _, host := range hosts {
+			host.Stop()
 		}
 	}()
 
@@ -134,7 +169,9 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 			wg.Add(1)
 			go func(rep, cli int) {
 				defer wg.Done()
-				payload := kvstore.Put("key", make([]byte, cfg.PayloadSize))
+				key, g := clientKey(router, cli)
+				target := hosts[rep].Group(g)
+				payload := kvstore.Put(key, make([]byte, cfg.PayloadSize))
 				var seq uint64
 				for {
 					select {
@@ -143,7 +180,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 					default:
 					}
 					seq++
-					nodes[rep].Submit(types.Command{
+					target.Submit(types.Command{
 						ID:      types.CommandID{Origin: types.ReplicaID(rep), Seq: uint64(cli)<<32 | seq},
 						Payload: payload,
 					})
@@ -169,6 +206,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	return &ThroughputResult{
 		Protocol:    cfg.Protocol,
 		PayloadSize: cfg.PayloadSize,
+		Groups:      cfg.Groups,
 		OpsPerSec:   float64(completed.Load()) / elapsed.Seconds(),
 	}, nil
 }
@@ -193,6 +231,30 @@ func Figure8(sizes []int, perRun time.Duration) ([]ThroughputResult, error) {
 			}
 			out = append(out, *res)
 		}
+	}
+	return out, nil
+}
+
+// GroupScaling measures aggregate sharded throughput at each group
+// count, same hardware and protocol: the multi-group scaling study
+// recorded in BENCH_2.json. Scaling is near-linear until the machine's
+// cores saturate; on a single-core host the curve is flat.
+func GroupScaling(groupCounts []int, payload int, perRun time.Duration) ([]ThroughputResult, error) {
+	if len(groupCounts) == 0 {
+		groupCounts = []int{1, 2, 4}
+	}
+	var out []ThroughputResult
+	for _, g := range groupCounts {
+		res, err := RunThroughput(ThroughputConfig{
+			Protocol:    ClockRSM,
+			PayloadSize: payload,
+			Groups:      g,
+			Duration:    perRun,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
 	}
 	return out, nil
 }

@@ -1,0 +1,82 @@
+// Package shard routes client commands to replication groups. A node
+// that hosts G independent Clock-RSM groups (node.Host) partitions the
+// key space by hashing each command's key: every key lives in exactly
+// one group, so per-key operations stay totally ordered — and therefore
+// linearizable — while distinct groups commit in parallel.
+package shard
+
+import (
+	"strconv"
+
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/types"
+)
+
+// FNV-1a 32-bit constants; the hash is inlined so routing a key
+// performs no allocation and no interface dispatch.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// hashKey returns the FNV-1a hash of key.
+func hashKey(key string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// Router maps keys to replication groups. The mapping is a pure
+// function of the key and the group count, so every node — and every
+// client library — routes identically without coordination.
+type Router struct {
+	groups uint32
+}
+
+// NewRouter creates a router over groups replication groups (values
+// below 1 are treated as 1).
+func NewRouter(groups int) *Router {
+	if groups < 1 {
+		groups = 1
+	}
+	return &Router{groups: uint32(groups)}
+}
+
+// Groups returns the number of groups routed over.
+func (r *Router) Groups() int { return int(r.groups) }
+
+// Group returns the replication group responsible for key.
+func (r *Router) Group(key string) types.GroupID {
+	if r.groups == 1 {
+		return 0
+	}
+	return types.GroupID(hashKey(key) % r.groups)
+}
+
+// GroupForPayload routes an encoded kvstore command payload by its key.
+// Malformed payloads route to group 0: every replica executes them as
+// identical deterministic no-ops, so any fixed group preserves
+// agreement.
+func (r *Router) GroupForPayload(payload []byte) types.GroupID {
+	if r.groups == 1 {
+		return 0
+	}
+	cmd, err := kvstore.Decode(payload)
+	if err != nil {
+		return 0
+	}
+	return r.Group(cmd.Key)
+}
+
+// LogPath names group g's stable log file under a base path. Group 0
+// of a single-group deployment keeps the base path itself, so existing
+// single-group logs replay unchanged after an upgrade.
+func LogPath(base string, g types.GroupID, groups int) string {
+	if groups <= 1 {
+		return base
+	}
+	return base + ".g" + strconv.Itoa(int(g))
+}

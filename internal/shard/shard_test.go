@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"clockrsm/internal/kvstore"
+)
+
+func TestRouterDeterministicAndInRange(t *testing.T) {
+	for _, groups := range []int{1, 2, 4, 7, 64} {
+		r := NewRouter(groups)
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			g := r.Group(key)
+			if g < 0 || int(g) >= groups {
+				t.Fatalf("groups=%d: key %q routed to %v", groups, key, g)
+			}
+			if g2 := r.Group(key); g2 != g {
+				t.Fatalf("groups=%d: key %q routed to %v then %v", groups, key, g, g2)
+			}
+		}
+	}
+}
+
+func TestRouterSpreadsKeys(t *testing.T) {
+	const groups, keys = 4, 4096
+	r := NewRouter(groups)
+	counts := make([]int, groups)
+	for i := 0; i < keys; i++ {
+		counts[r.Group(fmt.Sprintf("user:%d:profile", i))]++
+	}
+	// FNV over distinct keys should land well within ±25% of uniform.
+	for g, c := range counts {
+		if c < keys/groups/2 || c > keys/groups*2 {
+			t.Fatalf("group %d holds %d of %d keys: badly skewed %v", g, c, keys, counts)
+		}
+	}
+}
+
+func TestRouterPayloadMatchesKey(t *testing.T) {
+	r := NewRouter(8)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		for _, payload := range [][]byte{
+			kvstore.Put(key, []byte("v")),
+			kvstore.Get(key),
+			kvstore.Delete(key),
+		} {
+			if got, want := r.GroupForPayload(payload), r.Group(key); got != want {
+				t.Fatalf("payload for %q routed to %v, key routes to %v", key, got, want)
+			}
+		}
+	}
+}
+
+func TestRouterMalformedPayload(t *testing.T) {
+	r := NewRouter(4)
+	for _, payload := range [][]byte{nil, {}, {0xff}, {0xff, 0x01, 0x00, 'k'}} {
+		if g := r.GroupForPayload(payload); g != 0 {
+			t.Fatalf("malformed payload routed to %v, want group 0", g)
+		}
+	}
+}
+
+func TestRouterDegenerateCounts(t *testing.T) {
+	for _, groups := range []int{-3, 0, 1} {
+		r := NewRouter(groups)
+		if r.Groups() != 1 {
+			t.Fatalf("NewRouter(%d).Groups() = %d, want 1", groups, r.Groups())
+		}
+		if g := r.Group("anything"); g != 0 {
+			t.Fatalf("single group routed %v", g)
+		}
+	}
+}
+
+func TestLogPath(t *testing.T) {
+	if got := LogPath("/var/lib/rsm.log", 0, 1); got != "/var/lib/rsm.log" {
+		t.Fatalf("single-group path = %q", got)
+	}
+	if got := LogPath("/var/lib/rsm.log", 2, 4); got != "/var/lib/rsm.log.g2" {
+		t.Fatalf("multi-group path = %q", got)
+	}
+}

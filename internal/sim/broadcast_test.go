@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// TestNetworkBroadcastMatchesSend verifies that Broadcast delivers to
+// every live destination with Send's latency and FIFO semantics, and
+// honors crashes and partitions per destination.
+func TestNetworkBroadcastMatchesSend(t *testing.T) {
+	eng := NewEngine()
+	lat := wan.Uniform(4, 10*time.Millisecond)
+	net := NewNetwork(eng, lat, 0, nil)
+	got := make([][]uint64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		net.Register(types.ReplicaID(i), func(from types.ReplicaID, m msg.Message) {
+			got[i] = append(got[i], m.(*msg.Commit).Slot)
+		})
+	}
+	dst := []types.ReplicaID{0, 1, 2, 3}
+	net.Crash(3)
+	net.Partition(0, 2)
+	eng.At(0, func() {
+		net.Broadcast(0, dst, &msg.Commit{Slot: 1})
+		net.Broadcast(0, dst, &msg.Commit{Slot: 2})
+	})
+	eng.RunUntilIdle()
+	if len(got[0]) != 0 {
+		t.Fatalf("self received broadcast: %v", got[0])
+	}
+	if len(got[1]) != 2 || got[1][0] != 1 || got[1][1] != 2 {
+		t.Fatalf("replica 1 got %v, want FIFO [1 2]", got[1])
+	}
+	if len(got[2]) != 0 {
+		t.Fatalf("partitioned replica 2 got %v", got[2])
+	}
+	if len(got[3]) != 0 {
+		t.Fatalf("crashed replica 3 got %v", got[3])
+	}
+	if net.Sent != 6 {
+		t.Fatalf("Sent = %d, want 6 (2 broadcasts × 3 non-self dst)", net.Sent)
+	}
+	// Healing delivers the held messages in order.
+	net.Heal(0, 2)
+	eng.RunUntilIdle()
+	if len(got[2]) != 2 || got[2][0] != 1 || got[2][1] != 2 {
+		t.Fatalf("after heal replica 2 got %v, want [1 2]", got[2])
+	}
+}
+
+// TestReplicaImplementsMulticaster pins the fast path: rsm.Broadcast
+// over a sim replica must take the single-pass SendAll route and reach
+// every peer.
+func TestReplicaImplementsMulticaster(t *testing.T) {
+	c := NewCluster(wan.Uniform(3, 5*time.Millisecond), ClusterOptions{})
+	var env rsm.Env = c.Replicas[0]
+	if _, ok := env.(rsm.Multicaster); !ok {
+		t.Fatal("sim replica does not implement rsm.Multicaster")
+	}
+	delivered := make(map[types.ReplicaID]int)
+	for i := 1; i < 3; i++ {
+		id := types.ReplicaID(i)
+		c.Net.Register(id, func(from types.ReplicaID, m msg.Message) {
+			delivered[id]++
+		})
+	}
+	c.Eng.At(0, func() {
+		rsm.Broadcast(c.Replicas[0], []types.ReplicaID{0, 1, 2}, &msg.Commit{Slot: 9})
+	})
+	c.Eng.RunUntilIdle()
+	if delivered[1] != 1 || delivered[2] != 1 {
+		t.Fatalf("broadcast deliveries = %v, want one per peer", delivered)
+	}
+}

@@ -27,7 +27,10 @@ type Replica struct {
 	gen int
 }
 
-var _ rsm.Env = (*Replica)(nil)
+var (
+	_ rsm.Env         = (*Replica)(nil)
+	_ rsm.Multicaster = (*Replica)(nil)
+)
 
 // ID implements rsm.Env.
 func (r *Replica) ID() types.ReplicaID { return r.id }
@@ -40,6 +43,10 @@ func (r *Replica) Clock() int64 { return r.clk.Now() }
 
 // Send implements rsm.Env.
 func (r *Replica) Send(to types.ReplicaID, m msg.Message) { r.net.Send(r.id, to, m) }
+
+// SendAll implements rsm.Multicaster: rsm.Broadcast fans out through
+// the network's single-pass broadcast instead of per-peer Send calls.
+func (r *Replica) SendAll(dst []types.ReplicaID, m msg.Message) { r.net.Broadcast(r.id, dst, m) }
 
 // After implements rsm.Env.
 func (r *Replica) After(d time.Duration, fn func()) {

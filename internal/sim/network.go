@@ -76,6 +76,14 @@ func (n *Network) Send(from, to types.ReplicaID, m msg.Message) {
 	if n.down[from] || n.down[to] {
 		return
 	}
+	n.sendOne(from, to, m)
+}
+
+// sendOne is the per-link delivery tail shared by Send and Broadcast:
+// partition hold, latency + jitter, FIFO clamp, scheduled hand-off.
+// Callers have already counted the message and checked both endpoints
+// for crashes.
+func (n *Network) sendOne(from, to types.ReplicaID, m msg.Message) {
 	if key := linkKey(from, to); n.cut[key] {
 		n.held[key] = append(n.held[key], m)
 		return
@@ -96,6 +104,32 @@ func (n *Network) Send(from, to types.ReplicaID, m msg.Message) {
 		n.Delivered++
 		n.handlers[to](from, m)
 	})
+}
+
+// Broadcast schedules delivery of m from one replica to every other
+// replica in dst, with per-link semantics identical to Send (the tail
+// is shared). The sender-side crash check is paid once for the whole
+// fan-out, so wide broadcasts — the dominant message pattern of
+// Clock-RSM — cost less simulator CPU per peer.
+func (n *Network) Broadcast(from types.ReplicaID, dst []types.ReplicaID, m msg.Message) {
+	if n.down[from] {
+		for _, to := range dst {
+			if to != from {
+				n.Sent++ // handed to the network, like Send counts it
+			}
+		}
+		return
+	}
+	for _, to := range dst {
+		if to == from {
+			continue
+		}
+		n.Sent++
+		if n.down[to] {
+			continue
+		}
+		n.sendOne(from, to, m)
+	}
 }
 
 // Crash marks a replica as failed: in-flight messages to it are lost and

@@ -20,9 +20,15 @@ type HubOptions struct {
 	// throughput study enables this so message size matters as it does
 	// on a real network stack.
 	Codec bool
-	// QueueLen is the per-endpoint inbox capacity (default 4096). A full
+	// QueueLen is the per-group inbox capacity (default 4096). A full
 	// inbox applies backpressure to senders.
 	QueueLen int
+	// Groups is the number of replication groups multiplexed over each
+	// endpoint (default 1). Each group gets its own inbox and delivery
+	// goroutine, so groups at one endpoint make progress independently —
+	// the in-process analogue of the TCP transport's group-tagged
+	// frames over a shared connection set.
+	Groups int
 }
 
 // delivery is one in-flight message.
@@ -43,14 +49,24 @@ func NewHub(n int, opts HubOptions) *Hub {
 	if opts.QueueLen <= 0 {
 		opts.QueueLen = 4096
 	}
+	if opts.Groups <= 0 {
+		opts.Groups = 1
+	}
+	if opts.Groups > MaxGroups {
+		opts.Groups = MaxGroups
+	}
 	h := &Hub{opts: opts}
 	for i := 0; i < n; i++ {
-		h.eps = append(h.eps, &inprocEndpoint{
-			hub:   h,
-			self:  types.ReplicaID(i),
-			inbox: make(chan delivery, opts.QueueLen),
-			quit:  make(chan struct{}),
-		})
+		ep := &inprocEndpoint{
+			hub:    h,
+			self:   types.ReplicaID(i),
+			groups: make([]inprocGroup, opts.Groups),
+			quit:   make(chan struct{}),
+		}
+		for g := range ep.groups {
+			ep.groups[g].inbox = make(chan delivery, opts.QueueLen)
+		}
+		h.eps = append(h.eps, ep)
 	}
 	return h
 }
@@ -65,58 +81,82 @@ func (h *Hub) Close() {
 	}
 }
 
-// inprocEndpoint is one replica's view of the hub.
-type inprocEndpoint struct {
-	hub     *Hub
-	self    types.ReplicaID
+// inprocGroup is one group's inbox and handler at one endpoint.
+type inprocGroup struct {
 	handler Handler
 	inbox   chan delivery
+	done    chan struct{}
+}
+
+// inprocEndpoint is one replica's view of the hub.
+type inprocEndpoint struct {
+	hub    *Hub
+	self   types.ReplicaID
+	groups []inprocGroup
 
 	mu      sync.Mutex
 	started bool
 	closed  bool
 	quit    chan struct{}
-	done    chan struct{}
 }
 
 var (
-	_ Transport   = (*inprocEndpoint)(nil)
-	_ Broadcaster = (*inprocEndpoint)(nil)
+	_ Transport        = (*inprocEndpoint)(nil)
+	_ Broadcaster      = (*inprocEndpoint)(nil)
+	_ GroupTransport   = (*inprocEndpoint)(nil)
+	_ GroupBroadcaster = (*inprocEndpoint)(nil)
 )
 
 // Self implements Transport.
 func (e *inprocEndpoint) Self() types.ReplicaID { return e.self }
 
-// SetHandler implements Transport.
-func (e *inprocEndpoint) SetHandler(h Handler) { e.handler = h }
+// SetHandler implements Transport: it installs group 0's handler.
+func (e *inprocEndpoint) SetHandler(h Handler) { e.groups[0].handler = h }
 
-// Start implements Transport: it launches the delivery loop.
+// Groups implements GroupTransport.
+func (e *inprocEndpoint) Groups() int { return len(e.groups) }
+
+// SetGroupHandler implements GroupTransport. It must be called before
+// Start; g must name a configured group.
+func (e *inprocEndpoint) SetGroupHandler(g types.GroupID, h Handler) {
+	if g < 0 || int(g) >= len(e.groups) {
+		panic(fmt.Sprintf("inproc endpoint %v: handler for unconfigured group %v (groups=%d)", e.self, g, len(e.groups)))
+	}
+	e.groups[g].handler = h
+}
+
+// Start implements Transport: it launches one delivery loop per group.
 func (e *inprocEndpoint) Start() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.started {
 		return fmt.Errorf("inproc endpoint %v already started", e.self)
 	}
-	if e.handler == nil {
-		return fmt.Errorf("inproc endpoint %v has no handler", e.self)
+	for g := range e.groups {
+		if e.groups[g].handler == nil {
+			return fmt.Errorf("inproc endpoint %v has no handler for group g%d", e.self, g)
+		}
 	}
 	e.started = true
-	e.done = make(chan struct{})
-	go e.run()
+	for g := range e.groups {
+		grp := &e.groups[g]
+		grp.done = make(chan struct{})
+		go e.run(grp)
+	}
 	return nil
 }
 
-// run delivers inbox messages in order, honoring per-message due times
-// (all due times on one inbox are non-decreasing only per sender; a
-// cross-sender inversion sleeps the small difference, which is the same
-// behaviour a kernel socket would give).
-func (e *inprocEndpoint) run() {
-	defer close(e.done)
+// run delivers one group's inbox messages in order, honoring
+// per-message due times (all due times on one inbox are non-decreasing
+// only per sender; a cross-sender inversion sleeps the small
+// difference, which is the same behaviour a kernel socket would give).
+func (e *inprocEndpoint) run(grp *inprocGroup) {
+	defer close(grp.done)
 	for {
 		select {
 		case <-e.quit:
 			return
-		case d := <-e.inbox:
+		case d := <-grp.inbox:
 			if !d.due.IsZero() {
 				if wait := time.Until(d.due); wait > 0 {
 					select {
@@ -126,13 +166,21 @@ func (e *inprocEndpoint) run() {
 					}
 				}
 			}
-			e.handler(d.from, d.m)
+			grp.handler(d.from, d.m)
 		}
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport: it transmits on group 0.
 func (e *inprocEndpoint) Send(to types.ReplicaID, m msg.Message) {
+	e.SendGroup(to, 0, m)
+}
+
+// SendGroup implements GroupTransport.
+func (e *inprocEndpoint) SendGroup(to types.ReplicaID, g types.GroupID, m msg.Message) {
+	if g < 0 || int(g) >= len(e.groups) {
+		return // unconfigured group: drop, like any delivery failure
+	}
 	if e.hub.opts.Codec {
 		// Round-trip through the codec to charge serialization cost and
 		// guarantee no state is shared across replicas. The encode buffer
@@ -146,17 +194,25 @@ func (e *inprocEndpoint) Send(to types.ReplicaID, m msg.Message) {
 		}
 		m = decoded
 	}
-	e.deliver(to, m)
+	e.deliver(to, g, m)
 }
 
-// Broadcast implements Broadcaster: in codec mode the message is
-// encoded once and decoded per recipient (each replica must still get
-// its own copy), instead of encoded once per recipient.
+// Broadcast implements Broadcaster: it fans out on group 0.
 func (e *inprocEndpoint) Broadcast(dst []types.ReplicaID, m msg.Message) {
+	e.BroadcastGroup(dst, 0, m)
+}
+
+// BroadcastGroup implements GroupBroadcaster: in codec mode the message
+// is encoded once and decoded per recipient (each replica must still
+// get its own copy), instead of encoded once per recipient.
+func (e *inprocEndpoint) BroadcastGroup(dst []types.ReplicaID, g types.GroupID, m msg.Message) {
+	if g < 0 || int(g) >= len(e.groups) {
+		return // unconfigured group: drop, like any delivery failure
+	}
 	if !e.hub.opts.Codec {
 		for _, to := range dst {
 			if to != e.self {
-				e.deliver(to, m)
+				e.deliver(to, g, m)
 			}
 		}
 		return
@@ -171,21 +227,21 @@ func (e *inprocEndpoint) Broadcast(dst []types.ReplicaID, m msg.Message) {
 		if err != nil {
 			break // undecodable message: drop, like a corrupt frame
 		}
-		e.deliver(to, decoded)
+		e.deliver(to, g, decoded)
 	}
 	msg.PutBuf(buf)
 }
 
-// deliver queues m on the destination inbox, stamping the emulated WAN
-// due time.
-func (e *inprocEndpoint) deliver(to types.ReplicaID, m msg.Message) {
+// deliver queues m on the destination group's inbox, stamping the
+// emulated WAN due time.
+func (e *inprocEndpoint) deliver(to types.ReplicaID, g types.GroupID, m msg.Message) {
 	dst := e.hub.eps[to]
 	d := delivery{from: e.self, m: m}
 	if lat := e.hub.opts.Latency; lat != nil {
 		d.due = time.Now().Add(lat.OneWay(e.self, to))
 	}
 	select {
-	case dst.inbox <- d:
+	case dst.groups[g].inbox <- d:
 	case <-dst.quit:
 	}
 }
@@ -199,8 +255,10 @@ func (e *inprocEndpoint) Close() error {
 	}
 	e.closed = true
 	close(e.quit)
-	if e.done != nil {
-		<-e.done
+	for g := range e.groups {
+		if e.groups[g].done != nil {
+			<-e.groups[g].done
+		}
 	}
 	return nil
 }

@@ -34,23 +34,60 @@ type TCPOptions struct {
 	// OutboxLen is the per-peer send queue capacity (default 4096);
 	// a full queue drops messages, matching best-effort semantics.
 	OutboxLen int
+	// Groups is the number of replication groups multiplexed over this
+	// endpoint (default 1). With Groups > 1 the endpoint speaks the
+	// group-tagged framing version: connections open with the versioned
+	// handshake and every frame carries a 4-byte group tag. All
+	// endpoints of one cluster must agree on Groups.
+	Groups int
+	// InboxLen is the per-group inbound queue capacity of a grouped
+	// endpoint (default 4096). A full queue drops that group's
+	// messages — best-effort, like the outbox — instead of letting one
+	// stalled group head-of-line-block its siblings on the shared
+	// connection.
+	InboxLen int
 }
+
+// hsMagicV2 opens a version-2 (group-tagged) connection handshake:
+// [hsMagicV2 | 4-byte sender] instead of the legacy [4-byte sender].
+// The value collides with no legacy replica ID — IDs are dense indexes
+// validated against the address map — so a receiver distinguishes the
+// two framing versions from the first four bytes alone.
+const hsMagicV2 = 0x43525347 // bytes "GSRC" on the wire (little-endian)
 
 // TCPEndpoint is a Transport over TCP with length-prefixed frames.
 // Each endpoint listens on its own address and lazily dials peers;
 // frames carry a 4-byte length followed by the encoded message, and
-// every connection begins with a 4-byte handshake naming the sender.
+// every connection begins with a handshake naming the sender (and, in
+// the group-tagged framing version, a leading magic word; see
+// hsMagicV2). Inbound connections of either version are accepted, so
+// single-group and multi-group peers interoperate on group 0.
 //
 // The send path is allocation-frugal: messages are encoded once into
 // pooled buffers (msg.GetBuf), broadcasts share a single encoded frame
-// across all peer outboxes via refcounting, and each writeLoop drains
-// its outbox through a bufio.Writer so one syscall flushes a whole
-// burst of frames.
+// across all peer outboxes via refcounting — including the group tag,
+// which is framed once for the whole fan-out — and each writeLoop
+// drains its outbox through a bufio.Writer so one syscall flushes a
+// whole burst of frames.
 type TCPEndpoint struct {
-	self    types.ReplicaID
-	addrs   map[types.ReplicaID]string
-	opts    TCPOptions
-	handler Handler
+	self  types.ReplicaID
+	addrs map[types.ReplicaID]string
+	opts  TCPOptions
+	// handlers[g] receives group g's messages; a plain SetHandler
+	// installs handlers[0]. Written before Start, read by readLoops.
+	handlers []Handler
+	// grouped selects the version-2 framing for outgoing connections.
+	grouped bool
+	// inboxes[g] decouples group g's deliveries from the shared
+	// readLoops on a grouped endpoint: each group drains its own queue
+	// on its own goroutine, so a group whose handler stalls (e.g. a
+	// slow fsync backing up its event loop) drops its own overflow
+	// instead of blocking sibling groups' traffic on the connection. A
+	// single-group endpoint delivers synchronously — the readLoop's
+	// blocking IS the desired TCP backpressure there.
+	inboxes []chan inDelivery
+	// inDrops counts inbound messages dropped on full group queues.
+	inDrops atomic.Uint64
 
 	ln net.Listener
 
@@ -70,13 +107,22 @@ type TCPEndpoint struct {
 }
 
 var (
-	_ Transport   = (*TCPEndpoint)(nil)
-	_ Broadcaster = (*TCPEndpoint)(nil)
+	_ Transport        = (*TCPEndpoint)(nil)
+	_ Broadcaster      = (*TCPEndpoint)(nil)
+	_ GroupTransport   = (*TCPEndpoint)(nil)
+	_ GroupBroadcaster = (*TCPEndpoint)(nil)
 )
 
 // tcpPeer is an outgoing connection with its queue and writer.
 type tcpPeer struct {
 	outbox chan *outFrame
+}
+
+// inDelivery is one inbound message queued for a group's delivery
+// goroutine.
+type inDelivery struct {
+	from types.ReplicaID
+	m    msg.Message
 }
 
 // outFrame is one encoded, length-prefixed wire frame. A broadcast
@@ -91,11 +137,16 @@ type outFrame struct {
 var framePool = sync.Pool{New: func() any { return new(outFrame) }}
 
 // newFrame encodes m into a pooled buffer as a length-prefixed frame
-// with refs initial holders.
-func newFrame(m msg.Message, refs int32) *outFrame {
+// with refs initial holders. In grouped (version-2) framing the body
+// opens with the 4-byte group tag, so the tag is serialized once per
+// fan-out along with the message itself.
+func newFrame(m msg.Message, refs int32, g types.GroupID, grouped bool) *outFrame {
 	f := framePool.Get().(*outFrame)
 	f.buf = msg.GetBuf()
 	b := append(f.buf.B[:0], 0, 0, 0, 0)
+	if grouped {
+		b = binary.LittleEndian.AppendUint32(b, uint32(g))
+	}
 	b = msg.EncodeTo(b, m)
 	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
 	f.buf.B = b
@@ -124,21 +175,51 @@ func NewTCP(self types.ReplicaID, addrs map[types.ReplicaID]string, opts TCPOpti
 	if opts.OutboxLen <= 0 {
 		opts.OutboxLen = 4096
 	}
-	return &TCPEndpoint{
-		self:  self,
-		addrs: addrs,
-		opts:  opts,
-		peers: make(map[types.ReplicaID]*tcpPeer),
-		conns: make(map[net.Conn]struct{}),
-		quit:  make(chan struct{}),
+	if opts.Groups <= 0 {
+		opts.Groups = 1
 	}
+	if opts.Groups > MaxGroups {
+		opts.Groups = MaxGroups
+	}
+	if opts.InboxLen <= 0 {
+		opts.InboxLen = 4096
+	}
+	t := &TCPEndpoint{
+		self:     self,
+		addrs:    addrs,
+		opts:     opts,
+		handlers: make([]Handler, opts.Groups),
+		grouped:  opts.Groups > 1,
+		peers:    make(map[types.ReplicaID]*tcpPeer),
+		conns:    make(map[net.Conn]struct{}),
+		quit:     make(chan struct{}),
+	}
+	if t.grouped {
+		t.inboxes = make([]chan inDelivery, opts.Groups)
+		for g := range t.inboxes {
+			t.inboxes[g] = make(chan inDelivery, opts.InboxLen)
+		}
+	}
+	return t
 }
 
 // Self implements Transport.
 func (t *TCPEndpoint) Self() types.ReplicaID { return t.self }
 
-// SetHandler implements Transport.
-func (t *TCPEndpoint) SetHandler(h Handler) { t.handler = h }
+// SetHandler implements Transport: it installs group 0's handler.
+func (t *TCPEndpoint) SetHandler(h Handler) { t.handlers[0] = h }
+
+// Groups implements GroupTransport.
+func (t *TCPEndpoint) Groups() int { return t.opts.Groups }
+
+// SetGroupHandler implements GroupTransport. It must be called before
+// Start; g must name a configured group.
+func (t *TCPEndpoint) SetGroupHandler(g types.GroupID, h Handler) {
+	if g < 0 || int(g) >= len(t.handlers) {
+		panic(fmt.Sprintf("tcp endpoint %v: handler for unconfigured group %v (groups=%d)", t.self, g, len(t.handlers)))
+	}
+	t.handlers[g] = h
+}
 
 // Addr returns the bound listen address (useful with ":0" test
 // listeners). Valid after Start.
@@ -158,7 +239,14 @@ func (t *TCPEndpoint) WireStats() (frames, flushes uint64) {
 // Start implements Transport: it binds the listen socket and begins
 // accepting peer connections.
 func (t *TCPEndpoint) Start() error {
-	if t.handler == nil {
+	any := false
+	for _, h := range t.handlers {
+		if h != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
 		return fmt.Errorf("tcp endpoint %v has no handler", t.self)
 	}
 	ln, err := net.Listen("tcp", t.addrs[t.self])
@@ -166,9 +254,34 @@ func (t *TCPEndpoint) Start() error {
 		return fmt.Errorf("listen %s: %w", t.addrs[t.self], err)
 	}
 	t.ln = ln
+	if t.grouped {
+		for g := range t.inboxes {
+			if t.handlers[g] == nil {
+				continue
+			}
+			t.wg.Add(1)
+			go t.deliverLoop(types.GroupID(g))
+		}
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return nil
+}
+
+// deliverLoop drains one group's inbound queue, invoking the group
+// handler on a goroutine the other groups do not share.
+func (t *TCPEndpoint) deliverLoop(g types.GroupID) {
+	defer t.wg.Done()
+	h := t.handlers[g]
+	inbox := t.inboxes[g]
+	for {
+		select {
+		case <-t.quit:
+			return
+		case d := <-inbox:
+			h(d.from, d.m)
+		}
+	}
 }
 
 // acceptLoop accepts inbound connections and spawns a reader per
@@ -189,10 +302,28 @@ func (t *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// splitGroupBody splits a version-2 frame body into its group tag and
+// the encoded message bytes. It rejects bodies too short to carry the
+// tag and tags at or above MaxGroups (which no conforming sender can
+// produce, so they prove stream corruption).
+func splitGroupBody(b []byte) (types.GroupID, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, msg.ErrTruncated
+	}
+	g := binary.LittleEndian.Uint32(b)
+	if g >= MaxGroups {
+		return 0, nil, fmt.Errorf("transport: group tag %d out of range", g)
+	}
+	return types.GroupID(g), b[4:], nil
+}
+
 // readLoop consumes frames from one inbound connection. Reads go
 // through a bufio.Reader, and frame bodies land in one grow-only buffer
 // reused across frames (msg.Decode copies what it keeps), so the
-// steady-state read path performs no per-frame allocation.
+// steady-state read path performs no per-frame allocation. The
+// handshake's first word selects the framing version: legacy
+// connections deliver to group 0, version-2 connections carry a group
+// tag per frame and demultiplex to the group's handler.
 func (t *TCPEndpoint) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer t.untrack(conn)
@@ -201,7 +332,15 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 	if _, err := io.ReadFull(br, hs[:]); err != nil {
 		return
 	}
-	from := types.ReplicaID(int32(binary.LittleEndian.Uint32(hs[:])))
+	word := binary.LittleEndian.Uint32(hs[:])
+	grouped := word == hsMagicV2
+	if grouped {
+		if _, err := io.ReadFull(br, hs[:]); err != nil {
+			return
+		}
+		word = binary.LittleEndian.Uint32(hs[:])
+	}
+	from := types.ReplicaID(int32(word))
 	if _, ok := t.addrs[from]; !ok || from == t.self {
 		return // handshake names an unknown replica: reject the connection
 	}
@@ -222,6 +361,22 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(br, frame); err != nil {
 			return
 		}
+		g := types.GroupID(0)
+		if grouped {
+			var err error
+			if g, frame, err = splitGroupBody(frame); err != nil {
+				return // corrupt stream: drop the connection
+			}
+		}
+		if int(g) >= len(t.handlers) || t.handlers[g] == nil {
+			// A well-formed frame for a group this endpoint does not host:
+			// drop it, like any best-effort delivery failure, but decode
+			// first so a corrupt stream still kills the connection.
+			if _, err := msg.Decode(frame); err != nil {
+				return
+			}
+			continue
+		}
 		m, err := msg.Decode(frame)
 		if err != nil {
 			return // corrupt stream: drop the connection
@@ -231,13 +386,36 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 			return // closing: drop instead of delivering into teardown
 		default:
 		}
-		t.handler(from, m)
+		if t.inboxes != nil {
+			// Grouped endpoint: hand off to the group's delivery
+			// goroutine so a stalled group cannot head-of-line-block its
+			// siblings on this connection; its own overflow is dropped.
+			select {
+			case t.inboxes[g] <- inDelivery{from: from, m: m}:
+			default:
+				t.inDrops.Add(1)
+			}
+			continue
+		}
+		t.handlers[g](from, m)
 	}
 }
 
-// Send implements Transport.
+// InboundDrops returns how many inbound messages were discarded because
+// their group's delivery queue was full (grouped endpoints only).
+func (t *TCPEndpoint) InboundDrops() uint64 { return t.inDrops.Load() }
+
+// Send implements Transport: it transmits on group 0.
 func (t *TCPEndpoint) Send(to types.ReplicaID, m msg.Message) {
-	f := newFrame(m, 1)
+	t.SendGroup(to, 0, m)
+}
+
+// SendGroup implements GroupTransport.
+func (t *TCPEndpoint) SendGroup(to types.ReplicaID, g types.GroupID, m msg.Message) {
+	if g < 0 || int(g) >= t.opts.Groups {
+		return // unconfigured group: drop, like any delivery failure
+	}
+	f := newFrame(m, 1, g, t.grouped)
 	p, ok := t.peer(to)
 	if !ok {
 		f.release()
@@ -246,9 +424,18 @@ func (t *TCPEndpoint) Send(to types.ReplicaID, m msg.Message) {
 	t.enqueue(p, f)
 }
 
-// Broadcast implements Broadcaster: the frame is encoded once and the
-// same bytes are queued to every destination.
+// Broadcast implements Broadcaster: it fans out on group 0.
 func (t *TCPEndpoint) Broadcast(dst []types.ReplicaID, m msg.Message) {
+	t.BroadcastGroup(dst, 0, m)
+}
+
+// BroadcastGroup implements GroupBroadcaster: the frame — group tag
+// included — is encoded once and the same bytes are queued to every
+// destination.
+func (t *TCPEndpoint) BroadcastGroup(dst []types.ReplicaID, g types.GroupID, m msg.Message) {
+	if g < 0 || int(g) >= t.opts.Groups {
+		return // unconfigured group: drop, like any delivery failure
+	}
 	n := 0
 	for _, to := range dst {
 		if to != t.self {
@@ -258,7 +445,7 @@ func (t *TCPEndpoint) Broadcast(dst []types.ReplicaID, m msg.Message) {
 	if n == 0 {
 		return
 	}
-	f := newFrame(m, int32(n))
+	f := newFrame(m, int32(n), g, t.grouped)
 	for _, to := range dst {
 		if to == t.self {
 			continue
@@ -360,9 +547,15 @@ func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
 						continue
 					}
 				}
-				var hs [4]byte
-				binary.LittleEndian.PutUint32(hs[:], uint32(int32(t.self)))
-				if _, err := c.Write(hs[:]); err != nil {
+				var hs [8]byte
+				hello := hs[4:]
+				if t.grouped {
+					// Version-2 handshake: magic word, then the sender.
+					binary.LittleEndian.PutUint32(hs[:4], hsMagicV2)
+					hello = hs[:]
+				}
+				binary.LittleEndian.PutUint32(hs[4:], uint32(int32(t.self)))
+				if _, err := c.Write(hello); err != nil {
 					c.Close()
 					continue
 				}

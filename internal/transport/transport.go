@@ -40,3 +40,39 @@ type Broadcaster interface {
 	// itself, with the same best-effort semantics as Send.
 	Broadcast(dst []types.ReplicaID, m msg.Message)
 }
+
+// GroupTransport is implemented by transports that multiplex several
+// independent replication groups over one endpoint and connection set.
+// Frames carry a group tag at the framing layer (the message codec in
+// internal/msg is untouched), and inbound traffic is demultiplexed to
+// the per-group handler. Group handlers must be installed before Start.
+// Plain Transport calls address group 0: SetHandler is
+// SetGroupHandler(0, ·) and Send is SendGroup(to, 0, ·), so a
+// single-group deployment never sees the group machinery.
+type GroupTransport interface {
+	Transport
+	// Groups returns the number of groups this endpoint multiplexes.
+	Groups() int
+	// SetGroupHandler installs the delivery callback for one group; it
+	// must be called before Start. g must be in [0, Groups()).
+	SetGroupHandler(g types.GroupID, h Handler)
+	// SendGroup transmits m to another replica tagged with group g, with
+	// the same best-effort semantics as Send. Messages tagged with a
+	// group the endpoint was not configured for are dropped.
+	SendGroup(to types.ReplicaID, g types.GroupID, m msg.Message)
+}
+
+// GroupBroadcaster is the group-tagged analogue of Broadcaster: one
+// serialization pays for the whole fan-out of a group-tagged message.
+type GroupBroadcaster interface {
+	// BroadcastGroup sends m tagged with group g to every replica in dst
+	// except the endpoint itself.
+	BroadcastGroup(dst []types.ReplicaID, g types.GroupID, m msg.Message)
+}
+
+// MaxGroups bounds the group tag carried in wire frames. A received
+// frame naming a group at or above this limit indicates a corrupt
+// stream (it can never be produced by a conforming sender) and kills
+// the connection; a group below the limit but not hosted locally is
+// dropped silently, like any other best-effort delivery failure.
+const MaxGroups = 4096

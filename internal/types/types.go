@@ -101,6 +101,14 @@ type Result struct {
 // reconfiguration (Section V-A).
 type Epoch uint64
 
+// GroupID identifies one replication group on a node that hosts several
+// independent Clock-RSM instances multiplexed over a shared transport.
+// Groups are dense indexes 0..G-1; single-group deployments use group 0.
+type GroupID int32
+
+// String renders the group ID as g<k>.
+func (g GroupID) String() string { return "g" + strconv.Itoa(int(g)) }
+
 // Majority returns the size of a majority quorum out of n replicas:
 // floor(n/2)+1.
 func Majority(n int) int { return n/2 + 1 }
