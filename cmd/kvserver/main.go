@@ -6,7 +6,10 @@
 //	DEL <key>
 //
 // Each command replies with "OK <previous-or-read-value>" once the
-// update has committed (linearizably) at this replica.
+// update has committed (linearizably) at this replica. Commands enter
+// the replication stack through the node.Host client API: one Propose
+// per line, with the wait bounded by -client-timeout and canceled the
+// moment the client connection closes.
 //
 // Example three-replica cluster on one machine:
 //
@@ -24,6 +27,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,7 +36,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"clockrsm/internal/core"
@@ -52,15 +56,16 @@ func main() {
 	delta := flag.Duration("delta", 5*time.Millisecond, "CLOCKTIME broadcast interval Δ (0 disables)")
 	suspect := flag.Duration("suspect", 0, "failure detector timeout (0 disables reconfiguration)")
 	logPath := flag.String("log", "", "stable log file (empty = in-memory; group g uses <path>.g<g>)")
+	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-command commit wait bound for client connections (0 disables)")
 	flag.Parse()
 
-	if err := run(*id, *peers, *clientAddr, *groups, *delta, *suspect, *logPath); err != nil {
+	if err := run(*id, *peers, *clientAddr, *groups, *delta, *suspect, *logPath, *clientTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Duration, logPath string) error {
+func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Duration, logPath string, clientTimeout time.Duration) error {
 	if groups < 1 {
 		groups = 1
 	}
@@ -105,23 +110,17 @@ func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Du
 	if err != nil {
 		return err
 	}
-	srv := &server{
-		host:     host,
-		router:   shard.NewRouter(groups),
-		replicas: make([]*core.Replica, groups),
-		pending:  make(map[groupCmd]chan []byte),
-	}
+	srv := &server{host: host, timeout: clientTimeout}
 	for g := 0; g < groups; g++ {
 		gid := types.GroupID(g)
-		app := &rsm.App{SM: kvstore.New(), OnReply: func(res types.Result) { srv.onReply(gid, res) }}
+		app := &rsm.App{SM: kvstore.New()}
 		nd := host.Group(gid)
-		rep := core.New(nd, app, core.Options{
+		nd.Bind(app) // execution results resolve Propose futures
+		nd.SetProtocol(core.New(nd, app, core.Options{
 			ClockTimeInterval: delta,
 			SuspectTimeout:    suspect,
 			Replay:            replay[g],
-		})
-		nd.SetProtocol(rep)
-		srv.replicas[g] = rep
+		}))
 	}
 	if logPath != "" {
 		// Record the group count only now that the logs opened and the
@@ -187,44 +186,41 @@ func recordGroupLayout(base string, groups int) error {
 	return os.WriteFile(base+".groups", []byte(strconv.Itoa(groups)+"\n"), 0o644)
 }
 
-// groupCmd keys an outstanding command: sequence numbers are allocated
-// per group, so the command ID alone is not unique across groups.
-type groupCmd struct {
-	g   types.GroupID
-	cid types.CommandID
-}
-
-// server bridges client connections to the replica's groups.
+// server bridges client connections to the replica's groups. All
+// submission plumbing — ID allocation, completion routing, timeouts —
+// lives in the node client API; the server just proposes and waits.
 type server struct {
-	host     *node.Host
-	router   *shard.Router
-	replicas []*core.Replica
-
-	mu      sync.Mutex
-	pending map[groupCmd]chan []byte
+	host    *node.Host
+	timeout time.Duration
 }
 
-// onReply routes execution results back to waiting client connections.
-// It runs on the owning group's event loop.
-func (s *server) onReply(g types.GroupID, res types.Result) {
-	key := groupCmd{g: g, cid: res.ID}
-	s.mu.Lock()
-	ch := s.pending[key]
-	delete(s.pending, key)
-	s.mu.Unlock()
-	if ch != nil {
-		ch <- res.Value
-	}
-}
-
-// serve handles one client connection, routing each command to its
-// key's group.
+// serve handles one client connection: each line becomes one key-routed
+// Propose through the host. The wait for a commit is bounded by the
+// -client-timeout deadline and canceled outright when the connection
+// closes, so an abandoned client never strands a waiter.
 func (s *server) serve(conn net.Conn) {
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A dedicated reader detects connection close (EOF or error) even
+	// while a command is in flight; canceling ctx then releases the
+	// Wait below.
+	lines := make(chan string)
+	go func() {
+		defer cancel()
+		defer close(lines)
+		sc := bufio.NewScanner(conn)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for line := range lines {
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -234,30 +230,34 @@ func (s *server) serve(conn net.Conn) {
 			w.Flush()
 			continue
 		}
-		g := s.router.GroupForPayload(payload)
-		nd := s.host.Group(g)
-		var cid types.CommandID
-		nd.Do(func() { cid = s.replicas[g].NextCommandID() })
-		ch := make(chan []byte, 1)
-		key := groupCmd{g: g, cid: cid}
-		s.mu.Lock()
-		s.pending[key] = ch
-		s.mu.Unlock()
-		nd.Submit(types.Command{ID: cid, Payload: payload})
-
-		select {
-		case v := <-ch:
-			if v == nil {
+		cmdCtx, done := ctx, func() {}
+		if s.timeout > 0 {
+			cmdCtx, done = context.WithTimeout(ctx, s.timeout)
+		}
+		fut, err := s.host.Propose(cmdCtx, payload)
+		var res types.Result
+		if err == nil {
+			res, err = fut.Wait(cmdCtx)
+		}
+		switch {
+		case err == nil:
+			if res.Value == nil {
 				fmt.Fprintln(w, "OK (nil)")
 			} else {
-				fmt.Fprintf(w, "OK %s\n", v)
+				fmt.Fprintf(w, "OK %s\n", res.Value)
 			}
-		case <-time.After(30 * time.Second):
-			s.mu.Lock()
-			delete(s.pending, key)
-			s.mu.Unlock()
+		case ctx.Err() != nil:
+			// Connection closed while waiting: nothing left to reply to.
+			done()
+			return
+		case errors.Is(cmdCtx.Err(), context.DeadlineExceeded):
 			fmt.Fprintln(w, "ERR timeout")
+		case errors.Is(err, node.ErrStopped):
+			fmt.Fprintln(w, "ERR stopped")
+		default:
+			fmt.Fprintf(w, "ERR %v\n", err)
 		}
+		done()
 		w.Flush()
 	}
 }

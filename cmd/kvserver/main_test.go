@@ -78,7 +78,7 @@ func testKVServerEndToEnd(t *testing.T, groups int) {
 		i := i
 		go func() {
 			// run blocks serving; errors after shutdown are expected.
-			_ = run(i, peers, clientAddrs[i], groups, 5*time.Millisecond, 0, "")
+			_ = run(i, peers, clientAddrs[i], groups, 5*time.Millisecond, 0, "", 30*time.Second)
 		}()
 	}
 

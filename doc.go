@@ -54,6 +54,17 @@
 //     The node event loop drains queued events in batches bracketed
 //     by BeginBatch/EndBatch, so a burst of deliveries triggers one
 //     commit cascade.
+//   - Client-side batching: commands enter the stack through the
+//     asynchronous client API — node.Propose returns a Future that
+//     resolves with the command's execution result — and a node's
+//     submit buffer (Options.SubmitBatch) flushes up to N buffered
+//     proposals into one event-loop turn, so one coalesced PREPARE
+//     broadcast covers the chunk (the paper's client-library batching,
+//     Section VI-D). A bounded in-flight window (Options.MaxInFlight)
+//     applies backpressure: Propose blocks, or fails fast with
+//     ErrOverloaded, instead of queueing unbounded work, and Stop
+//     resolves every unresolved future with ErrStopped so shutdown
+//     never strands a waiter.
 //   - Group sharding: a node.Host runs G independent Clock-RSM groups,
 //     each with its own event loop, log and commit cascade, over ONE
 //     transport endpoint per node — frames carry a 4-byte group tag

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,12 +40,12 @@ func run() error {
 	spec := []types.ReplicaID{0, 1, 2}
 	stores := make([]*kvstore.Store, n)
 	nodes := make([]*node.Node, n)
-	replies := make(chan types.Result, 16)
 
 	for i := 0; i < n; i++ {
 		stores[i] = kvstore.New()
 		nd := node.New(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.Options{})
-		app := &rsm.App{SM: stores[i], OnReply: func(res types.Result) { replies <- res }}
+		app := &rsm.App{SM: stores[i]}
+		nd.Bind(app) // execution results resolve Propose futures
 		nd.SetProtocol(core.New(nd, app, core.Options{
 			ClockTimeInterval: 5 * time.Millisecond,
 		}))
@@ -68,15 +69,17 @@ func run() error {
 		{1, kvstore.Put("city", []byte("Lugano")), `PUT city=Lugano at r1`},
 		{0, kvstore.Get("city"), `GET city at r0`},
 	}
-	seq := uint64(0)
+	ctx := context.Background()
 	for _, op := range ops {
-		seq++
 		start := time.Now()
-		nodes[op.at].Submit(types.Command{
-			ID:      types.CommandID{Origin: op.at, Seq: seq},
-			Payload: op.payload,
-		})
-		res := <-replies
+		fut, err := nodes[op.at].Propose(ctx, op.payload)
+		if err != nil {
+			return err
+		}
+		res, err := fut.Result()
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%-26s -> %-10q committed in %v\n", op.desc, res.Value, time.Since(start).Round(time.Millisecond))
 	}
 

@@ -14,12 +14,18 @@ import (
 
 func runHotPath(b *testing.B, payload, groups int) {
 	b.Helper()
+	runHotPathBatch(b, payload, groups, 1)
+}
+
+func runHotPathBatch(b *testing.B, payload, groups, clientBatch int) {
+	b.Helper()
 	var ops float64
 	for i := 0; i < b.N; i++ {
 		res, err := runner.RunThroughput(runner.ThroughputConfig{
 			Protocol:    runner.ClockRSM,
 			PayloadSize: payload,
 			Groups:      groups,
+			ClientBatch: clientBatch,
 			Warmup:      300 * time.Millisecond,
 			Duration:    2 * time.Second,
 		})
@@ -41,6 +47,20 @@ func BenchmarkHotPath(b *testing.B) {
 // overhead (encode, frame, syscall) dominates payload cost.
 func BenchmarkHotPathSmall(b *testing.B) {
 	runHotPath(b, 10, 1)
+}
+
+// BenchmarkHotPathBatch8 enables client-side batching (node submit
+// buffer, paper Section VI-D) with width 8: up to eight proposals
+// flush into one event-loop turn and share one coalesced PREPARE
+// broadcast. BENCH_3.json records the 1/8/64 batch-scaling study.
+func BenchmarkHotPathBatch8(b *testing.B) {
+	runHotPathBatch(b, 100, 1, 8)
+}
+
+// BenchmarkHotPathBatch64 widens the client batch to 64 (client count
+// scales with the batch so flushes can fill).
+func BenchmarkHotPathBatch64(b *testing.B) {
+	runHotPathBatch(b, 100, 1, 64)
 }
 
 // BenchmarkHotPathMultiGroup shards the same five-node cluster across

@@ -115,7 +115,10 @@ type Replica struct {
 	sweptAcks   uint64 // earlyAcks entries reclaimed by the periodic sweep
 }
 
-var _ rsm.Protocol = (*Replica)(nil)
+var (
+	_ rsm.Protocol    = (*Replica)(nil)
+	_ rsm.IDAllocator = (*Replica)(nil)
+)
 
 // New creates a Clock-RSM replica over env, executing committed commands
 // against app. The initial configuration is the full Spec. If

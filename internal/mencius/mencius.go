@@ -53,7 +53,10 @@ type Replica struct {
 	nextSeq   uint64
 }
 
-var _ rsm.Protocol = (*Replica)(nil)
+var (
+	_ rsm.Protocol    = (*Replica)(nil)
+	_ rsm.IDAllocator = (*Replica)(nil)
+)
 
 // New creates a Mencius-bcast replica.
 func New(env rsm.Env, app *rsm.App) *Replica {

@@ -1,10 +1,13 @@
 package node
 
 import (
+	"context"
 	"fmt"
 
 	"clockrsm/internal/clock"
 	"clockrsm/internal/msg"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/shard"
 	"clockrsm/internal/storage"
 	"clockrsm/internal/transport"
 	"clockrsm/internal/types"
@@ -28,6 +31,16 @@ type HostOptions struct {
 	// BatchLimit caps events drained per loop turn per group (default
 	// 256).
 	BatchLimit int
+	// MaxInFlight is each group's backpressure window: proposals
+	// admitted by Propose but not yet resolved (default 1024).
+	MaxInFlight int
+	// FailFast makes Propose return ErrOverloaded on a full window
+	// instead of blocking.
+	FailFast bool
+	// SubmitBatch is each group's client-side batching width (default
+	// 1): up to this many buffered proposals flush into one event-loop
+	// turn, sharing one coalesced PREPARE broadcast (Section VI-D).
+	SubmitBatch int
 }
 
 // Host runs G independent replication groups on one node. Each group
@@ -41,9 +54,10 @@ type HostOptions struct {
 // Wire a Host like a set of Nodes: attach a protocol to every group
 // with Group(g).SetProtocol, then Start the host once.
 type Host struct {
-	id    types.ReplicaID
-	tr    transport.Transport
-	nodes []*Node
+	id     types.ReplicaID
+	tr     transport.Transport
+	nodes  []*Node
+	router *shard.Router
 }
 
 // NewHost creates a host for replica id over tr with opts.Groups
@@ -67,7 +81,7 @@ func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 	if clk == nil {
 		clk = clock.NewMonotonic(clock.System{})
 	}
-	h := &Host{id: id, tr: tr}
+	h := &Host{id: id, tr: tr, router: shard.NewRouter(g)}
 	for i := 0; i < g; i++ {
 		gid := types.GroupID(i)
 		var lg storage.Log
@@ -75,10 +89,13 @@ func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 			lg = opts.NewLog(gid)
 		}
 		n := newNode(id, spec, tr, gid, true, Options{
-			Clock:      clk,
-			Log:        lg,
-			QueueLen:   opts.QueueLen,
-			BatchLimit: opts.BatchLimit,
+			Clock:       clk,
+			Log:         lg,
+			QueueLen:    opts.QueueLen,
+			BatchLimit:  opts.BatchLimit,
+			MaxInFlight: opts.MaxInFlight,
+			FailFast:    opts.FailFast,
+			SubmitBatch: opts.SubmitBatch,
 		})
 		if isGT {
 			gt.SetGroupHandler(gid, func(from types.ReplicaID, m msg.Message) {
@@ -101,8 +118,30 @@ func (h *Host) ID() types.ReplicaID { return h.id }
 func (h *Host) Groups() int { return len(h.nodes) }
 
 // Group returns group g's node — an rsm.Env for protocol construction
-// and the handle for Submit/Do against that group.
+// and the handle for Propose/Do against that group.
 func (h *Host) Group(g types.GroupID) *Node { return h.nodes[g] }
+
+// Router returns the key→group router this host shards by.
+func (h *Host) Router() *shard.Router { return h.router }
+
+// Propose routes an encoded kvstore payload to its key's replication
+// group (via the shard router, so every node and client library
+// dispatches identically) and proposes it there. For payloads that are
+// not kvstore commands, or to route by an explicit key, use ProposeKey
+// or Group(g).Propose.
+func (h *Host) Propose(ctx context.Context, payload []byte) (*Future, error) {
+	return h.nodes[h.router.GroupForPayload(payload)].Propose(ctx, payload)
+}
+
+// ProposeKey proposes an opaque payload on the replication group
+// responsible for key.
+func (h *Host) ProposeKey(ctx context.Context, key string, payload []byte) (*Future, error) {
+	return h.nodes[h.router.Group(key)].Propose(ctx, payload)
+}
+
+// Bind connects group g's application to that group's proposal futures
+// (see Node.Bind).
+func (h *Host) Bind(g types.GroupID, app *rsm.App) { h.nodes[g].Bind(app) }
 
 // Start launches every group's event loop, then the shared transport,
 // then starts every protocol on its loop. Every group must have a

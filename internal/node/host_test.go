@@ -1,7 +1,7 @@
 package node
 
 import (
-	"sync"
+	"context"
 	"testing"
 	"time"
 
@@ -13,18 +13,16 @@ import (
 )
 
 // hostCluster wires n multi-group hosts over a shared-transport
-// factory, one kvstore per (replica, group).
+// factory, one kvstore per (replica, group). Commands enter through
+// the Propose client API of each group's node.
 type hostCluster struct {
 	hosts  []*Host
 	stores [][]*kvstore.Store // [replica][group]
-
-	replyMu sync.Mutex
-	replies map[types.CommandID]chan []byte
 }
 
 func newHostCluster(t *testing.T, n, groups int, mkTransport func(id types.ReplicaID) transport.Transport) *hostCluster {
 	t.Helper()
-	c := &hostCluster{replies: make(map[types.CommandID]chan []byte)}
+	c := &hostCluster{}
 	spec := make([]types.ReplicaID, n)
 	for i := range spec {
 		spec[i] = types.ReplicaID(i)
@@ -38,18 +36,9 @@ func newHostCluster(t *testing.T, n, groups int, mkTransport func(id types.Repli
 		for g := 0; g < groups; g++ {
 			store := kvstore.New()
 			stores[g] = store
-			app := &rsm.App{
-				SM: store,
-				OnReply: func(res types.Result) {
-					c.replyMu.Lock()
-					ch := c.replies[res.ID]
-					c.replyMu.Unlock()
-					if ch != nil {
-						ch <- res.Value
-					}
-				},
-			}
+			app := &rsm.App{SM: store}
 			nd := h.Group(types.GroupID(g))
+			nd.Bind(app)
 			nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 5 * time.Millisecond}))
 		}
 		c.hosts = append(c.hosts, h)
@@ -72,39 +61,33 @@ func (c *hostCluster) start(t *testing.T) {
 	}
 }
 
-// call submits a command to one group at one replica and waits for the
-// reply.
-func (c *hostCluster) call(t *testing.T, at types.ReplicaID, g types.GroupID, cid types.CommandID, payload []byte) []byte {
+// call proposes a command on one group at one replica and waits for
+// the result.
+func (c *hostCluster) call(t *testing.T, at types.ReplicaID, g types.GroupID, payload []byte) []byte {
 	t.Helper()
-	ch := make(chan []byte, 1)
-	c.replyMu.Lock()
-	c.replies[cid] = ch
-	c.replyMu.Unlock()
-	c.hosts[at].Group(g).Submit(types.Command{ID: cid, Payload: payload})
-	select {
-	case v := <-ch:
-		return v
-	case <-time.After(10 * time.Second):
-		t.Fatalf("timeout waiting for reply to %v on group %v", cid, g)
-		return nil
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fut, err := c.hosts[at].Group(g).Propose(ctx, payload)
+	if err != nil {
+		t.Fatalf("Propose on group %v: %v", g, err)
 	}
+	res, err := fut.Wait(ctx)
+	if err != nil {
+		t.Fatalf("proposal on group %v: %v", g, err)
+	}
+	return res.Value
 }
 
 func testHostGroupsIsolatedAndReplicated(t *testing.T, c *hostCluster, groups int) {
 	t.Helper()
 	c.start(t)
-	seq := uint64(0)
-	id := func(origin types.ReplicaID) types.CommandID {
-		seq++
-		return types.CommandID{Origin: origin, Seq: seq}
-	}
 	// The same key written in different groups must stay independent:
 	// groups are separate state machines.
 	for g := 0; g < groups; g++ {
 		gid := types.GroupID(g)
 		val := []byte{byte('A' + g)}
-		c.call(t, 0, gid, id(0), kvstore.Put("shared-key", val))
-		if v := c.call(t, 1, gid, id(1), kvstore.Get("shared-key")); string(v) != string(val) {
+		c.call(t, 0, gid, kvstore.Put("shared-key", val))
+		if v := c.call(t, 1, gid, kvstore.Get("shared-key")); string(v) != string(val) {
 			t.Fatalf("group %v: GET = %q, want %q", gid, v, val)
 		}
 	}
@@ -144,7 +127,7 @@ func TestHostMultiGroupTCP(t *testing.T) {
 	// Bind listeners one at a time so each host knows the others' ports.
 	var eps []*transport.TCPEndpoint
 	spec := []types.ReplicaID{0, 1, 2}
-	c := &hostCluster{replies: make(map[types.CommandID]chan []byte)}
+	c := &hostCluster{}
 	for i := 0; i < n; i++ {
 		ep := transport.NewTCP(types.ReplicaID(i), addrs, transport.TCPOptions{DialRetry: 20 * time.Millisecond, Groups: groups})
 		eps = append(eps, ep)
@@ -156,18 +139,9 @@ func TestHostMultiGroupTCP(t *testing.T) {
 		for g := 0; g < groups; g++ {
 			store := kvstore.New()
 			stores[g] = store
-			app := &rsm.App{
-				SM: store,
-				OnReply: func(res types.Result) {
-					c.replyMu.Lock()
-					ch := c.replies[res.ID]
-					c.replyMu.Unlock()
-					if ch != nil {
-						ch <- res.Value
-					}
-				},
-			}
+			app := &rsm.App{SM: store}
 			nd := h.Group(types.GroupID(g))
+			nd.Bind(app)
 			nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 5 * time.Millisecond}))
 		}
 		c.hosts = append(c.hosts, h)
@@ -183,16 +157,11 @@ func TestHostMultiGroupTCP(t *testing.T) {
 		}
 	})
 
-	seq := uint64(0)
-	id := func(origin types.ReplicaID) types.CommandID {
-		seq++
-		return types.CommandID{Origin: origin, Seq: seq}
-	}
 	for g := 0; g < groups; g++ {
 		gid := types.GroupID(g)
 		val := []byte{byte('A' + g)}
-		c.call(t, 0, gid, id(0), kvstore.Put("k", val))
-		if v := c.call(t, 2, gid, id(2), kvstore.Get("k")); string(v) != string(val) {
+		c.call(t, 0, gid, kvstore.Put("k", val))
+		if v := c.call(t, 2, gid, kvstore.Get("k")); string(v) != string(val) {
 			t.Fatalf("group %v over TCP: GET = %q, want %q", gid, v, val)
 		}
 	}

@@ -11,6 +11,7 @@ package node
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"clockrsm/internal/clock"
@@ -35,17 +36,28 @@ type Options struct {
 	// re-selecting (default 256). Larger batches amortize the commit scan
 	// and outgoing-message coalescing further but delay the flush.
 	BatchLimit int
+	// MaxInFlight is the backpressure window: the maximum number of
+	// proposals admitted by Propose but not yet resolved (default 1024).
+	MaxInFlight int
+	// FailFast makes Propose return ErrOverloaded when the in-flight
+	// window is full instead of blocking for a slot.
+	FailFast bool
+	// SubmitBatch is the client-side batching width (default 1, i.e. no
+	// batching): up to this many buffered proposals are flushed into one
+	// event-loop turn, sharing one coalesced PREPARE broadcast (the
+	// paper's client-library batching, Section VI-D).
+	SubmitBatch int
 }
 
-// event is one unit of event-loop work. Deliveries and submissions are
+// event is one unit of event-loop work. Deliveries and proposals are
 // passed as plain fields rather than closures so the hot path enqueues
 // no per-message heap allocation; fn covers timers and Do callbacks.
 type event struct {
 	fn    func()
 	m     msg.Message // non-nil: deliver m from `from`
 	from  types.ReplicaID
-	cmd   types.Command // valid when isCmd: submit cmd
-	isCmd bool
+	fut   *Future // non-nil: mint an ID and submit this proposal
+	flush bool    // drain the client-side submit buffer
 }
 
 // Node hosts one replica group: transport in, protocol logic on the
@@ -78,9 +90,35 @@ type Node struct {
 
 	batchLimit int
 
-	events chan event
-	quit   chan struct{}
-	done   chan struct{}
+	// Client API state (see propose.go). window holds one token per
+	// admitted, unresolved proposal — the backpressure window. inflight
+	// heads the intrusive registry list Stop sweeps; propBuf is the
+	// client-side submit buffer drained by flush events when
+	// submitBatch > 1. waiters, mint and nextSeq are owned by the event
+	// loop.
+	window      chan struct{}
+	failFast    bool
+	submitBatch int
+
+	propMu      sync.Mutex
+	inflight    *Future
+	propBuf     []*Future
+	propSpare   []*Future
+	flushQueued bool
+	propStopped bool
+
+	// waiters routes completions back to futures, keyed by the minted
+	// Seq alone: every ID minted here carries Origin == n.id, and
+	// App.Execute only reports results for locally originated commands.
+	waiters map[uint64]*Future
+	mint    rsm.IDAllocator
+	nextSeq uint64
+
+	events    chan event
+	quit      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
+	closeOnce sync.Once
 }
 
 var (
@@ -117,20 +155,32 @@ func newNode(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 	if blimit <= 0 {
 		blimit = 256
 	}
+	window := opts.MaxInFlight
+	if window <= 0 {
+		window = 1024
+	}
+	sbatch := opts.SubmitBatch
+	if sbatch <= 0 {
+		sbatch = 1
+	}
 	bcast, _ := tr.(transport.Broadcaster)
 	n := &Node{
-		id:         id,
-		spec:       append([]types.ReplicaID(nil), spec...),
-		tr:         tr,
-		bcast:      bcast,
-		clk:        clk,
-		log:        lg,
-		group:      group,
-		shared:     shared,
-		batchLimit: blimit,
-		events:     make(chan event, qlen),
-		quit:       make(chan struct{}),
-		done:       make(chan struct{}),
+		id:          id,
+		spec:        append([]types.ReplicaID(nil), spec...),
+		tr:          tr,
+		bcast:       bcast,
+		clk:         clk,
+		log:         lg,
+		group:       group,
+		shared:      shared,
+		batchLimit:  blimit,
+		window:      make(chan struct{}, window),
+		failFast:    opts.FailFast,
+		submitBatch: sbatch,
+		waiters:     make(map[uint64]*Future),
+		events:      make(chan event, qlen),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	if shared {
 		// Host-managed: tag traffic with the group and route through the
@@ -200,11 +250,14 @@ func (n *Node) SetProtocol(p rsm.Protocol) { n.proto = p }
 // Protocol returns the bound protocol.
 func (n *Node) Protocol() rsm.Protocol { return n.proto }
 
-// enqueue schedules ev on the loop, dropping it if the node stopped.
-func (n *Node) enqueue(ev event) {
+// enqueue schedules ev on the loop; it reports false (dropping ev) if
+// the node stopped.
+func (n *Node) enqueue(ev event) bool {
 	select {
 	case n.events <- ev:
+		return true
 	case <-n.quit:
+		return false
 	}
 }
 
@@ -230,22 +283,26 @@ func (n *Node) startLoop() error {
 	if n.proto == nil {
 		return fmt.Errorf("node %v has no protocol", n.id)
 	}
+	// Mint command IDs through the protocol when it allocates them
+	// itself, so proposals and any direct protocol use share one
+	// collision-free sequence.
+	n.mint, _ = n.proto.(rsm.IDAllocator)
 	n.loopStarted = true
 	go n.run()
 	return nil
 }
 
-// stopLoop terminates the event loop without touching the transport.
+// stopLoop terminates the event loop without touching the transport,
+// then fails every unresolved proposal with ErrStopped. Idempotent;
+// concurrent callers block until the sweep completed.
 func (n *Node) stopLoop() {
-	select {
-	case <-n.quit:
-		return // already stopped
-	default:
-	}
-	close(n.quit)
-	if n.loopStarted {
-		<-n.done
-	}
+	n.stopOnce.Do(func() {
+		close(n.quit)
+		if n.loopStarted {
+			<-n.done
+		}
+		n.sweepProposals()
+	})
 }
 
 // exec dispatches one event to the protocol.
@@ -253,8 +310,10 @@ func (n *Node) exec(ev event) {
 	switch {
 	case ev.m != nil:
 		n.proto.Deliver(ev.from, ev.m)
-	case ev.isCmd:
-		n.proto.Submit(ev.cmd)
+	case ev.fut != nil:
+		n.execPropose(ev.fut)
+	case ev.flush:
+		n.flushProposals()
 	default:
 		ev.fn()
 	}
@@ -293,36 +352,28 @@ func (n *Node) run() {
 	}
 }
 
-// Submit hands a client command to the protocol, from any goroutine.
-func (n *Node) Submit(cmd types.Command) {
-	n.enqueue(event{cmd: cmd, isCmd: true})
-}
-
 // Do runs fn on the event loop and waits for it — the safe way to read
-// protocol state from outside.
+// protocol state from outside. Commands enter through Propose.
 func (n *Node) Do(fn func()) {
 	done := make(chan struct{})
-	n.enqueue(event{fn: func() {
+	if !n.enqueue(event{fn: func() {
 		fn()
 		close(done)
-	}})
+	}}) {
+		return
+	}
 	select {
 	case <-done:
 	case <-n.quit:
 	}
 }
 
-// Stop terminates the event loop and closes the transport. Host-managed
-// nodes leave the shared transport to the Host.
+// Stop terminates the event loop, fails all in-flight proposals with
+// ErrStopped, and closes the transport. Host-managed nodes leave the
+// shared transport to the Host. Idempotent.
 func (n *Node) Stop() {
-	select {
-	case <-n.quit:
-		return // already stopped
-	default:
-	}
-	close(n.quit)
-	<-n.done
+	n.stopLoop()
 	if !n.shared {
-		n.tr.Close()
+		n.closeOnce.Do(func() { n.tr.Close() })
 	}
 }

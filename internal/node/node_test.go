@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -16,25 +17,26 @@ import (
 )
 
 // cluster wires n nodes over an in-process hub running the given
-// protocol constructor.
+// protocol constructor. Commands enter through the public Propose API.
 type cluster struct {
 	hub    *transport.Hub
 	nodes  []*Node
 	stores []*kvstore.Store
 	orders [][]types.CommandID
 	mu     sync.Mutex
-
-	replyMu sync.Mutex
-	replies map[types.CommandID]chan []byte
 }
 
 func newCluster(t *testing.T, n int, lat *wan.Matrix,
 	mk func(env rsm.Env, app *rsm.App) rsm.Protocol) *cluster {
+	return newClusterOpts(t, n, lat, mk, Options{})
+}
+
+func newClusterOpts(t *testing.T, n int, lat *wan.Matrix,
+	mk func(env rsm.Env, app *rsm.App) rsm.Protocol, opts Options) *cluster {
 	t.Helper()
 	c := &cluster{
-		hub:     transport.NewHub(n, transport.HubOptions{Latency: lat}),
-		replies: make(map[types.CommandID]chan []byte),
-		orders:  make([][]types.CommandID, n),
+		hub:    transport.NewHub(n, transport.HubOptions{Latency: lat}),
+		orders: make([][]types.CommandID, n),
 	}
 	spec := make([]types.ReplicaID, n)
 	for i := range spec {
@@ -44,7 +46,7 @@ func newCluster(t *testing.T, n int, lat *wan.Matrix,
 		i := i
 		store := kvstore.New()
 		c.stores = append(c.stores, store)
-		nd := New(types.ReplicaID(i), spec, c.hub.Endpoint(types.ReplicaID(i)), Options{})
+		nd := New(types.ReplicaID(i), spec, c.hub.Endpoint(types.ReplicaID(i)), opts)
 		app := &rsm.App{
 			SM: store,
 			OnCommit: func(ts types.Timestamp, cmd types.Command) {
@@ -52,15 +54,8 @@ func newCluster(t *testing.T, n int, lat *wan.Matrix,
 				c.orders[i] = append(c.orders[i], cmd.ID)
 				c.mu.Unlock()
 			},
-			OnReply: func(res types.Result) {
-				c.replyMu.Lock()
-				ch := c.replies[res.ID]
-				c.replyMu.Unlock()
-				if ch != nil {
-					ch <- res.Value
-				}
-			},
 		}
+		nd.Bind(app)
 		nd.SetProtocol(mk(nd, app))
 		c.nodes = append(c.nodes, nd)
 	}
@@ -78,21 +73,20 @@ func newCluster(t *testing.T, n int, lat *wan.Matrix,
 	return c
 }
 
-// call submits a command at a replica and waits for its reply.
-func (c *cluster) call(t *testing.T, at types.ReplicaID, cid types.CommandID, payload []byte) []byte {
+// call proposes a command at a replica and waits for its reply.
+func (c *cluster) call(t *testing.T, at types.ReplicaID, payload []byte) []byte {
 	t.Helper()
-	ch := make(chan []byte, 1)
-	c.replyMu.Lock()
-	c.replies[cid] = ch
-	c.replyMu.Unlock()
-	c.nodes[at].Submit(types.Command{ID: cid, Payload: payload})
-	select {
-	case v := <-ch:
-		return v
-	case <-time.After(10 * time.Second):
-		t.Fatalf("timeout waiting for reply to %v", cid)
-		return nil
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fut, err := c.nodes[at].Propose(ctx, payload)
+	if err != nil {
+		t.Fatalf("Propose at %v: %v", at, err)
 	}
+	res, err := fut.Wait(ctx)
+	if err != nil {
+		t.Fatalf("proposal at %v: %v", at, err)
+	}
+	return res.Value
 }
 
 func protoMakers() map[string]func(env rsm.Env, app *rsm.App) rsm.Protocol {
@@ -115,19 +109,14 @@ func TestKVOverRealRuntime(t *testing.T) {
 		name, mk := name, mk
 		t.Run(name, func(t *testing.T) {
 			c := newCluster(t, 3, lat, mk)
-			seq := uint64(0)
-			id := func(origin types.ReplicaID) types.CommandID {
-				seq++
-				return types.CommandID{Origin: origin, Seq: seq}
-			}
-			c.call(t, 0, id(0), kvstore.Put("x", []byte("1")))
-			if v := c.call(t, 1, id(1), kvstore.Get("x")); string(v) != "1" {
+			c.call(t, 0, kvstore.Put("x", []byte("1")))
+			if v := c.call(t, 1, kvstore.Get("x")); string(v) != "1" {
 				t.Fatalf("GET x = %q, want 1", v)
 			}
-			if v := c.call(t, 2, id(2), kvstore.Put("x", []byte("2"))); string(v) != "1" {
+			if v := c.call(t, 2, kvstore.Put("x", []byte("2"))); string(v) != "1" {
 				t.Fatalf("PUT returned %q, want previous 1", v)
 			}
-			if v := c.call(t, 0, id(0), kvstore.Get("x")); string(v) != "2" {
+			if v := c.call(t, 0, kvstore.Get("x")); string(v) != "2" {
 				t.Fatalf("GET x = %q, want 2", v)
 			}
 		})
@@ -145,16 +134,12 @@ func TestConcurrentClientsTotalOrder(t *testing.T) {
 			for i := 0; i < 3; i++ {
 				for k := 0; k < 3; k++ { // 3 clients per replica
 					wg.Add(1)
-					go func(rep, cli int) {
+					go func(rep int) {
 						defer wg.Done()
 						for n := 0; n < perReplica/3; n++ {
-							cid := types.CommandID{
-								Origin: types.ReplicaID(rep),
-								Seq:    uint64(cli*1000 + n + 1),
-							}
-							c.call(t, types.ReplicaID(rep), cid, kvstore.Put("k", []byte{byte(n)}))
+							c.call(t, types.ReplicaID(rep), kvstore.Put("k", []byte{byte(n)}))
 						}
-					}(i, k)
+					}(i)
 				}
 			}
 			wg.Wait()
@@ -192,16 +177,13 @@ func TestNodeOverTCP(t *testing.T) {
 	var eps []*transport.TCPEndpoint
 	var nodes []*Node
 	stores := make([]*kvstore.Store, 3)
-	replyCh := make(chan []byte, 1)
 	for i := 0; i < 3; i++ {
 		ep := transport.NewTCP(types.ReplicaID(i), addrs, transport.TCPOptions{DialRetry: 20 * time.Millisecond})
 		eps = append(eps, ep)
 		stores[i] = kvstore.New()
 		nd := New(types.ReplicaID(i), spec, ep, Options{})
 		app := &rsm.App{SM: stores[i]}
-		if i == 0 {
-			app.OnReply = func(res types.Result) { replyCh <- res.Value }
-		}
+		nd.Bind(app)
 		nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 5 * time.Millisecond}))
 		nodes = append(nodes, nd)
 		if err := nd.Start(); err != nil {
@@ -215,14 +197,14 @@ func TestNodeOverTCP(t *testing.T) {
 		}
 	}()
 
-	nodes[0].Submit(types.Command{
-		ID:      types.CommandID{Origin: 0, Seq: 1},
-		Payload: kvstore.Put("greeting", []byte("hello")),
-	})
-	select {
-	case <-replyCh:
-	case <-time.After(10 * time.Second):
-		t.Fatal("no reply over TCP")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fut, err := nodes[0].Propose(ctx, kvstore.Put("greeting", []byte("hello")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Wait(ctx); err != nil {
+		t.Fatalf("no reply over TCP: %v", err)
 	}
 	// Every store converges.
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,311 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/types"
+)
+
+// Errors returned by Propose and resolved into Futures. They are
+// sentinel values: match with errors.Is.
+var (
+	// ErrStopped reports that the node stopped before the proposal could
+	// complete. Stop resolves every unresolved Future with it.
+	ErrStopped = errors.New("node: stopped")
+	// ErrCanceled reports that the proposal's wait was abandoned — the
+	// context expired or Cancel was called. The command itself may still
+	// commit (replication cannot be recalled once the PREPARE left), but
+	// it executes at most once and its result is discarded.
+	ErrCanceled = errors.New("node: proposal canceled")
+	// ErrOverloaded reports that the in-flight window was full and the
+	// node was configured to fail fast instead of blocking.
+	ErrOverloaded = errors.New("node: in-flight window full")
+)
+
+// Future is the pending result of one Propose call. It resolves exactly
+// once: with the command's execution result, or with ErrCanceled /
+// ErrStopped. All methods are safe for concurrent use.
+type Future struct {
+	n       *Node
+	payload []byte
+
+	// prev/next link the future into its node's in-flight registry (an
+	// intrusive list under propMu — O(1), no hashing on the hot path).
+	prev, next *Future
+	// seq is the minted command sequence, published by the event loop at
+	// submission; Cancel reads it to unregister the completion waiter.
+	seq atomic.Uint64
+
+	once sync.Once
+	done chan struct{}
+	res  types.Result
+	err  error
+}
+
+// Done returns a channel closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the future resolves and returns the execution
+// result or the resolution error.
+func (f *Future) Result() (types.Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Wait blocks until the future resolves or ctx is done. A context
+// expiry cancels the proposal (see Cancel) and usually returns
+// ErrCanceled; if the result raced in first, it is returned instead.
+func (f *Future) Wait(ctx context.Context) (types.Result, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		f.Cancel()
+	}
+	<-f.done
+	return f.res, f.err
+}
+
+// Cancel abandons the proposal: the future resolves ErrCanceled and its
+// in-flight window slot is released. A proposal canceled before the
+// event loop picked it up is never submitted at all; one canceled later
+// may still commit (at most once), with the result dropped. Cancel
+// after resolution is a no-op.
+func (f *Future) Cancel() {
+	f.resolve(types.Result{}, ErrCanceled)
+	// Unregister the completion waiter, if the proposal was already
+	// submitted: a command whose commit never arrives (replica cut off
+	// from the majority, timeout-retry churn) must not pin its Future
+	// and payload in the waiters map forever. Best-effort and
+	// non-blocking — Cancel may run on the event loop itself (a user
+	// callback), and a full queue or a stopping node just means the
+	// entry lingers until the commit or the final sweep.
+	seq := f.seq.Load()
+	if seq == 0 {
+		return
+	}
+	n := f.n
+	select {
+	case n.events <- event{fn: func() {
+		if n.waiters[seq] == f {
+			delete(n.waiters, seq)
+		}
+	}}:
+	case <-n.quit:
+	default:
+	}
+}
+
+// resolve fulfils the future exactly once: it leaves the node's
+// in-flight registry, publishes the outcome, and releases the window
+// slot the proposal was admitted under.
+func (f *Future) resolve(res types.Result, err error) {
+	f.once.Do(func() {
+		f.res, f.err = res, err
+		n := f.n
+		n.propMu.Lock()
+		if f.prev != nil {
+			f.prev.next = f.next
+		} else {
+			n.inflight = f.next
+		}
+		if f.next != nil {
+			f.next.prev = f.prev
+		}
+		f.prev, f.next = nil, nil
+		n.propMu.Unlock()
+		// Release the window slot before publishing the resolution, so a
+		// caller that observes the future done can immediately re-propose
+		// without a spurious ErrOverloaded from a slot still held here.
+		<-n.window
+		close(f.done)
+	})
+}
+
+// resolved reports whether the future already resolved.
+func (f *Future) resolved() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Propose submits an opaque state-machine payload at this replica and
+// returns a Future for its execution result. It is the client entry
+// point of the replication stack: the event loop allocates the command
+// ID, registers the completion, and hands the command to the protocol,
+// so no caller ever touches protocol state across goroutines.
+//
+// Backpressure: a proposal is admitted only while fewer than
+// Options.MaxInFlight proposals are unresolved. When the window is
+// full, Propose blocks until a slot frees, ctx is done (ErrCanceled) or
+// the node stops (ErrStopped); with Options.FailFast it returns
+// ErrOverloaded immediately instead.
+//
+// Batching: with Options.SubmitBatch > 1, admitted proposals gather in
+// a submit buffer and the event loop drains them in chunks of up to
+// SubmitBatch per batch turn, so one coalesced PREPARE broadcast (one
+// encode, one frame per link) covers the whole chunk — the paper's
+// client-library batching (Section VI-D).
+//
+// ctx governs admission and can later cancel the wait through
+// Future.Wait; it does not cancel a command already replicating.
+//
+// The result's CommandID is minted on the event loop and is unique
+// within this node's replication group; sibling groups of a Host mint
+// their own sequences, so cross-group consumers key by (group, ID).
+func (n *Node) Propose(ctx context.Context, payload []byte) (*Future, error) {
+	if ctx.Err() != nil {
+		return nil, ErrCanceled // the caller is already gone; admit nothing
+	}
+	select {
+	case n.window <- struct{}{}:
+	default:
+		if n.failFast {
+			return nil, ErrOverloaded
+		}
+		select {
+		case n.window <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ErrCanceled
+		case <-n.quit:
+			return nil, ErrStopped
+		}
+	}
+	f := &Future{n: n, payload: payload, done: make(chan struct{})}
+	n.propMu.Lock()
+	if n.propStopped {
+		n.propMu.Unlock()
+		<-n.window
+		return nil, ErrStopped
+	}
+	f.next = n.inflight
+	if n.inflight != nil {
+		n.inflight.prev = f
+	}
+	n.inflight = f
+	if n.submitBatch > 1 {
+		n.propBuf = append(n.propBuf, f)
+		queued := n.flushQueued
+		n.flushQueued = true
+		n.propMu.Unlock()
+		if !queued {
+			// One flush event drains the whole buffer; later proposals
+			// join it for free until the loop gets there.
+			n.enqueue(event{flush: true})
+		}
+		return f, nil
+	}
+	n.propMu.Unlock()
+	if !n.enqueue(event{fut: f}) {
+		f.resolve(types.Result{}, ErrStopped)
+		return nil, ErrStopped
+	}
+	return f, nil
+}
+
+// Bind connects the replicated application to this node's proposal
+// futures: execution results of locally originated commands resolve the
+// matching Future on the event loop. An OnReply already installed on
+// app keeps firing after the future resolves. Bind must precede Start.
+func (n *Node) Bind(app *rsm.App) {
+	prev := app.OnReply
+	app.OnReply = func(res types.Result) {
+		n.completeProposal(res)
+		if prev != nil {
+			prev(res)
+		}
+	}
+}
+
+// execPropose runs on the event loop: it mints the command ID, registers
+// the completion and submits the command to the protocol. A future
+// canceled before reaching the loop is dropped without ever submitting,
+// so a canceled proposal can never execute twice.
+func (n *Node) execPropose(f *Future) {
+	if f.resolved() {
+		return
+	}
+	var id types.CommandID
+	if n.mint != nil {
+		id = n.mint.NextCommandID()
+	} else {
+		n.nextSeq++
+		id = types.CommandID{Origin: n.id, Seq: n.nextSeq}
+	}
+	f.seq.Store(id.Seq)
+	// Re-check after publishing the seq: a Cancel racing in between saw
+	// seq == 0 and won't unregister, so don't register (or submit) at
+	// all — between the two checks every cancellation path is covered.
+	if f.resolved() {
+		return
+	}
+	n.waiters[id.Seq] = f
+	n.proto.Submit(types.Command{ID: id, Payload: f.payload})
+}
+
+// flushProposals runs on the event loop: it drains the submit buffer in
+// chunks of SubmitBatch proposals. The loop turn already brackets the
+// event in BeginBatch/EndBatch, so each chunk's PREPAREs coalesce into
+// one outgoing frame; between chunks the bracket is cycled to bound the
+// per-broadcast batch at SubmitBatch.
+func (n *Node) flushProposals() {
+	n.propMu.Lock()
+	buf := n.propBuf
+	// Swap in the spare backing array and nil the spare out while buf is
+	// borrowed: the two must never alias, or concurrent appends would
+	// overwrite the entries being drained.
+	n.propBuf = n.propSpare[:0]
+	n.propSpare = nil
+	n.flushQueued = false
+	n.propMu.Unlock()
+	bd, _ := n.proto.(rsm.BatchDeliverer)
+	for i, f := range buf {
+		if i > 0 && i%n.submitBatch == 0 && bd != nil {
+			bd.EndBatch()
+			bd.BeginBatch()
+		}
+		n.execPropose(f)
+		buf[i] = nil
+	}
+	n.propMu.Lock()
+	n.propSpare = buf[:0] // hand the drained array back for reuse
+	n.propMu.Unlock()
+}
+
+// completeProposal resolves the future registered for a finished
+// command. It runs on the event loop (via the Bind OnReply hook).
+func (n *Node) completeProposal(res types.Result) {
+	f, ok := n.waiters[res.ID.Seq]
+	if !ok {
+		return
+	}
+	delete(n.waiters, res.ID.Seq)
+	f.resolve(res, nil)
+}
+
+// sweepProposals fails every unresolved proposal with ErrStopped. It
+// runs once, after the event loop has exited, so Stop never strands a
+// waiter: admitted-but-unflushed, queued, and submitted-but-uncommitted
+// proposals all resolve deterministically. Each resolve unlinks the
+// head of the registry, so popping the head until empty visits every
+// in-flight future exactly once (racing Cancels just pop it for us).
+func (n *Node) sweepProposals() {
+	n.propMu.Lock()
+	n.propStopped = true
+	n.propMu.Unlock()
+	for {
+		n.propMu.Lock()
+		f := n.inflight
+		n.propMu.Unlock()
+		if f == nil {
+			return
+		}
+		f.resolve(types.Result{}, ErrStopped)
+	}
+}

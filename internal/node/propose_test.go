@@ -1,0 +1,333 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// TestProposeFutureResult checks the basic contract: Propose returns a
+// future that resolves with the command's execution result.
+func TestProposeFutureResult(t *testing.T) {
+	c := newCluster(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"])
+	ctx := context.Background()
+	fut, err := c.nodes[0].Propose(ctx, kvstore.Put("k", []byte("v1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fut.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID.Origin != 0 || res.ID.Seq == 0 {
+		t.Errorf("minted ID = %v, want origin r0 with nonzero seq", res.ID)
+	}
+	if res.Value != nil {
+		t.Errorf("first PUT returned %q, want nil previous value", res.Value)
+	}
+	if v := c.call(t, 1, kvstore.Get("k")); string(v) != "v1" {
+		t.Errorf("GET after PUT = %q", v)
+	}
+}
+
+// TestProposeClientBatching pushes many concurrent proposals through a
+// node configured with a submit batch and checks they all commit with
+// correct results and distinct IDs.
+func TestProposeClientBatching(t *testing.T) {
+	c := newClusterOpts(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"],
+		Options{SubmitBatch: 8})
+	const clients, per = 16, 10
+	var wg sync.WaitGroup
+	ids := make(chan types.CommandID, clients*per)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			key := fmt.Sprintf("batch-%d", cl)
+			for k := 0; k < per; k++ {
+				fut, err := c.nodes[0].Propose(context.Background(), kvstore.Put(key, []byte{byte(k)}))
+				if err != nil {
+					t.Errorf("Propose: %v", err)
+					return
+				}
+				res, err := fut.Result()
+				if err != nil {
+					t.Errorf("future: %v", err)
+					return
+				}
+				ids <- res.ID
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[types.CommandID]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("command ID %v minted twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != clients*per {
+		t.Fatalf("%d distinct IDs, want %d", len(seen), clients*per)
+	}
+}
+
+// blockedCluster returns a 3-replica cluster in which replicas 1 and 2
+// are stopped, so nothing replica 0 proposes can ever reach a majority
+// and commit: its window fills and stays full.
+func blockedCluster(t *testing.T, opts Options) *cluster {
+	t.Helper()
+	c := newClusterOpts(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"], opts)
+	c.nodes[1].Stop()
+	c.nodes[2].Stop()
+	return c
+}
+
+// TestProposeBackpressureFailFast fills a 1-slot window on a cluster
+// that cannot commit and checks the fail-fast path returns
+// ErrOverloaded without blocking.
+func TestProposeBackpressureFailFast(t *testing.T) {
+	c := blockedCluster(t, Options{MaxInFlight: 1, FailFast: true})
+	first, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte("v")))
+	if err != nil {
+		t.Fatalf("first Propose: %v", err)
+	}
+	if _, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte("v"))); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second Propose with full window: err = %v, want ErrOverloaded", err)
+	}
+	// Freeing the slot (here: canceling) re-admits proposals.
+	first.Cancel()
+	if _, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte("v"))); err != nil {
+		t.Fatalf("Propose after slot freed: %v", err)
+	}
+}
+
+// TestProposeBackpressureBlocks checks the blocking path: a Propose
+// against a full window waits, and the admission context can abandon
+// the wait with ErrCanceled.
+func TestProposeBackpressureBlocks(t *testing.T) {
+	c := blockedCluster(t, Options{MaxInFlight: 1})
+	if _, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte("v"))); err != nil {
+		t.Fatalf("first Propose: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.nodes[0].Propose(ctx, kvstore.Put("k", []byte("v")))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("blocked Propose: err = %v, want ErrCanceled", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Errorf("blocked Propose returned after %v, before the context deadline", time.Since(start))
+	}
+}
+
+// TestProposeFailFastNoSpuriousOverload drives a 1-slot fail-fast
+// window with a strictly sequential client: a proposal made right
+// after the previous future resolved must never see ErrOverloaded,
+// i.e. resolution releases the window slot before publishing.
+func TestProposeFailFastNoSpuriousOverload(t *testing.T) {
+	c := newClusterOpts(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"],
+		Options{MaxInFlight: 1, FailFast: true})
+	for k := 0; k < 20; k++ {
+		fut, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte{byte(k)}))
+		if err != nil {
+			t.Fatalf("proposal %d: %v", k, err)
+		}
+		if _, err := fut.Result(); err != nil {
+			t.Fatalf("future %d: %v", k, err)
+		}
+	}
+}
+
+// TestProposeRejectsDeadContext checks admission: a context that is
+// already done must not sneak a command into the state machine just
+// because the window has room.
+func TestProposeRejectsDeadContext(t *testing.T) {
+	c := newCluster(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"])
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.nodes[0].Propose(ctx, kvstore.Put("k", []byte("v"))); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Propose with dead context: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestProposeCancelAtMostOnce cancels a slice of proposals mid-flight
+// on a healthy cluster and checks that no command — canceled or not —
+// is ever executed twice, and that canceled futures resolve
+// ErrCanceled or with a genuine result, never hang.
+func TestProposeCancelAtMostOnce(t *testing.T) {
+	c := newCluster(t, 3, wan.Uniform(3, time.Millisecond), protoMakers()["clockrsm"])
+	const n = 60
+	for k := 0; k < n; k++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		fut, err := c.nodes[0].Propose(ctx, kvstore.Put("k", []byte{byte(k)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k%2 == 0 {
+			cancel()
+			if _, err := fut.Wait(ctx); err != nil && !errors.Is(err, ErrCanceled) {
+				t.Fatalf("canceled future: unexpected error %v", err)
+			}
+		} else {
+			if _, err := fut.Wait(ctx); err != nil {
+				t.Fatalf("awaited future: %v", err)
+			}
+			cancel()
+		}
+	}
+	// Let trailing commits (canceled proposals that were already
+	// submitted) land everywhere, then check at-most-once execution.
+	time.Sleep(200 * time.Millisecond)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ord := range c.orders {
+		seen := make(map[types.CommandID]bool, len(ord))
+		for _, cid := range ord {
+			if seen[cid] {
+				t.Fatalf("replica %d executed %v twice", i, cid)
+			}
+			seen[cid] = true
+		}
+		if len(ord) > n {
+			t.Fatalf("replica %d executed %d commands, only %d proposed", i, len(ord), n)
+		}
+	}
+}
+
+// TestStopFailsInFlightProposals stops a node whose proposals cannot
+// commit and checks every outstanding future resolves ErrStopped —
+// including ones still sitting in the submit buffer of a batching node.
+func TestStopFailsInFlightProposals(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			c := blockedCluster(t, Options{SubmitBatch: batch})
+			var futs []*Future
+			for k := 0; k < 20; k++ {
+				fut, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte("v")))
+				if err != nil {
+					t.Fatal(err)
+				}
+				futs = append(futs, fut)
+			}
+			c.nodes[0].Stop()
+			for i, fut := range futs {
+				select {
+				case <-fut.Done():
+				case <-time.After(5 * time.Second):
+					t.Fatalf("future %d still unresolved after Stop", i)
+				}
+				if _, err := fut.Result(); !errors.Is(err, ErrStopped) {
+					t.Fatalf("future %d: err = %v, want ErrStopped", i, err)
+				}
+			}
+			// A proposal after Stop must fail immediately, not hang.
+			if _, err := c.nodes[0].Propose(context.Background(), kvstore.Put("k", []byte("v"))); !errors.Is(err, ErrStopped) {
+				t.Fatalf("Propose after Stop: err = %v, want ErrStopped", err)
+			}
+		})
+	}
+}
+
+// TestHostStopUnderLoad hammers a 2-group host cluster with concurrent
+// proposers, stops every host mid-flight, and checks that (1) every
+// proposer unblocks — futures resolve with a result or ErrStopped, and
+// Propose itself returns an error once stopped — and (2) no goroutines
+// leak: the shutdown-under-load guarantee of the client API.
+func TestHostStopUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const replicas, groups, proposers = 3, 2, 8
+	hub := transport.NewHub(replicas, transport.HubOptions{Codec: true, Groups: groups})
+	spec := []types.ReplicaID{0, 1, 2}
+	hosts := make([]*Host, replicas)
+	for i := 0; i < replicas; i++ {
+		h, err := NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), HostOptions{Groups: groups, SubmitBatch: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < groups; g++ {
+			app := &rsm.App{SM: kvstore.New()}
+			nd := h.Group(types.GroupID(g))
+			nd.Bind(app)
+			nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 2 * time.Millisecond}))
+		}
+		hosts[i] = h
+	}
+	for _, h := range hosts {
+		if err := h.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var completed, stopped atomic.Uint64
+	for p := 0; p < proposers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			key := fmt.Sprintf("load-%d", p)
+			payload := kvstore.Put(key, []byte("v"))
+			for {
+				fut, err := hosts[p%replicas].ProposeKey(context.Background(), key, payload)
+				if err != nil {
+					if !errors.Is(err, ErrStopped) {
+						t.Errorf("Propose: %v", err)
+					}
+					return
+				}
+				if _, err := fut.Result(); err != nil {
+					if !errors.Is(err, ErrStopped) {
+						t.Errorf("future: %v", err)
+					}
+					stopped.Add(1)
+					return
+				}
+				completed.Add(1)
+			}
+		}(p)
+	}
+
+	// Let the load ramp, then pull the rug out under it.
+	time.Sleep(100 * time.Millisecond)
+	for _, h := range hosts {
+		h.Stop()
+	}
+
+	loadDone := make(chan struct{})
+	go func() { wg.Wait(); close(loadDone) }()
+	select {
+	case <-loadDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("proposers still blocked 10s after Stop: hung waiters leaked")
+	}
+	hub.Close()
+	if completed.Load() == 0 {
+		t.Error("no proposal completed before Stop; load never ramped")
+	}
+	t.Logf("%d proposals completed, %d failed ErrStopped", completed.Load(), stopped.Load())
+
+	// Goroutines wind down to the pre-cluster baseline (allow slack for
+	// runtime helpers and timers still draining).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+4 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d at start, %d 5s after Stop — leak", baseline, runtime.NumGoroutine())
+}

@@ -54,7 +54,10 @@ type Replica struct {
 	nextSeq   uint64
 }
 
-var _ rsm.Protocol = (*Replica)(nil)
+var (
+	_ rsm.Protocol    = (*Replica)(nil)
+	_ rsm.IDAllocator = (*Replica)(nil)
+)
 
 // New creates a Paxos replica.
 func New(env rsm.Env, app *rsm.App, opts Options) *Replica {

@@ -74,6 +74,16 @@ type BatchDeliverer interface {
 	EndBatch()
 }
 
+// IDAllocator is implemented by protocols that allocate client command
+// identifiers from replica-local state. The runtime's event loop mints
+// IDs through it when proposals arrive (node.Propose), so clients never
+// reach across goroutines into protocol state, and proposals share one
+// collision-free sequence with any direct protocol use. Like every
+// Protocol method, NextCommandID must be invoked on the event loop.
+type IDAllocator interface {
+	NextCommandID() types.CommandID
+}
+
 // Protocol is a replication protocol instance bound to one replica.
 type Protocol interface {
 	// Start installs timers and begins participation. It must be called

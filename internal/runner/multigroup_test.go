@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -11,30 +13,38 @@ import (
 	"clockrsm/internal/kvstore"
 	"clockrsm/internal/node"
 	"clockrsm/internal/rsm"
-	"clockrsm/internal/shard"
 	"clockrsm/internal/transport"
 	"clockrsm/internal/types"
 )
 
+// gcid keys one command across the sharded store: sequence numbers are
+// minted per group (each group is an independent RSM instance), so the
+// command ID alone is not unique across groups.
+type gcid struct {
+	g   types.GroupID
+	cid types.CommandID
+}
+
 // mgHarness drives a real-runtime sharded cluster (node.Host over the
-// in-process codec transport) and records per-group histories. Keys are
-// partitioned over groups by shard.Router, so every key's operations
-// land in exactly one group's total order: per-key linearizability of
-// the sharded store reduces to per-group agreement + sequential
-// semantics + real-time order, which verify checks.
+// in-process codec transport) through the public client API — every
+// command enters via Host.ProposeKey and completes via its Future —
+// and records per-group histories. Keys are partitioned over groups by
+// the host's shard router, so every key's operations land in exactly
+// one group's total order: per-key linearizability of the sharded
+// store reduces to per-group agreement + sequential semantics +
+// real-time order, which verify checks.
 type mgHarness struct {
 	t      *testing.T
 	groups int
-	router *shard.Router
 	hosts  []*node.Host
 
 	mu       sync.Mutex
 	orders   [][][]types.CommandID // [replica][group] execution order
-	payloads map[types.CommandID][]byte
-	results  map[types.CommandID][]byte
-	submits  map[types.CommandID]time.Time
-	replies  map[types.CommandID]time.Time
-	waiters  map[types.CommandID]chan struct{}
+	payloads map[gcid][]byte
+	results  map[gcid][]byte
+	submits  map[gcid]time.Time
+	replies  map[gcid]time.Time
+	canceled int // proposals abandoned via context cancellation
 }
 
 func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
@@ -42,13 +52,11 @@ func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
 	h := &mgHarness{
 		t:        t,
 		groups:   groups,
-		router:   shard.NewRouter(groups),
 		orders:   make([][][]types.CommandID, replicas),
-		payloads: make(map[types.CommandID][]byte),
-		results:  make(map[types.CommandID][]byte),
-		submits:  make(map[types.CommandID]time.Time),
-		replies:  make(map[types.CommandID]time.Time),
-		waiters:  make(map[types.CommandID]chan struct{}),
+		payloads: make(map[gcid][]byte),
+		results:  make(map[gcid][]byte),
+		submits:  make(map[gcid]time.Time),
+		replies:  make(map[gcid]time.Time),
 	}
 	hub := transport.NewHub(replicas, transport.HubOptions{Codec: true, Groups: groups})
 	t.Cleanup(hub.Close)
@@ -67,24 +75,21 @@ func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
 			g := g
 			app := &rsm.App{
 				SM: kvstore.New(),
+				// The execution order carries the payloads: proposals
+				// no longer know their command ID at submit time (the
+				// event loop mints it), so correlation happens here.
 				OnCommit: func(ts types.Timestamp, cmd types.Command) {
+					key := gcid{types.GroupID(g), cmd.ID}
 					h.mu.Lock()
 					h.orders[i][g] = append(h.orders[i][g], cmd.ID)
-					h.mu.Unlock()
-				},
-				OnReply: func(res types.Result) {
-					now := time.Now()
-					h.mu.Lock()
-					h.results[res.ID] = res.Value
-					h.replies[res.ID] = now
-					ch := h.waiters[res.ID]
-					h.mu.Unlock()
-					if ch != nil {
-						close(ch)
+					if _, ok := h.payloads[key]; !ok {
+						h.payloads[key] = append([]byte(nil), cmd.Payload...)
 					}
+					h.mu.Unlock()
 				},
 			}
 			nd := host.Group(types.GroupID(g))
+			nd.Bind(app)
 			nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 2 * time.Millisecond}))
 		}
 		h.hosts = append(h.hosts, host)
@@ -102,28 +107,74 @@ func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
 	return h
 }
 
-// call submits one command at a replica (routed to its key's group) and
-// waits for the reply, recording the real-time window.
-func (h *mgHarness) call(at types.ReplicaID, cid types.CommandID, key string, payload []byte) {
-	g := h.router.Group(key)
-	ch := make(chan struct{})
+// call proposes one command at a replica through the public client API
+// and waits for its future, recording the real-time window keyed by
+// the command ID the node minted.
+func (h *mgHarness) call(at types.ReplicaID, key string, payload []byte) {
+	before := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	fut, err := h.hosts[at].ProposeKey(ctx, key, payload)
+	if err != nil {
+		h.t.Errorf("ProposeKey(%q): %v", key, err)
+		return
+	}
+	res, err := fut.Wait(ctx)
+	if err != nil {
+		h.t.Errorf("proposal for key %q: %v", key, err)
+		return
+	}
+	now := time.Now()
+	k := gcid{h.hosts[at].Router().Group(key), res.ID}
 	h.mu.Lock()
-	h.payloads[cid] = payload
-	h.waiters[cid] = ch
-	h.submits[cid] = time.Now()
+	h.results[k] = res.Value
+	h.submits[k] = before
+	h.replies[k] = now
 	h.mu.Unlock()
-	h.hosts[at].Group(g).Submit(types.Command{ID: cid, Payload: payload})
-	select {
-	case <-ch:
-	case <-time.After(20 * time.Second):
-		h.t.Errorf("timeout waiting for %v (key %q, group %v)", cid, key, g)
+}
+
+// callCanceled proposes a command and immediately abandons the wait
+// with an already-expired context: the future must resolve ErrCanceled
+// (or, rarely, win the race and commit), and the command must never be
+// observed executing twice — which verify asserts for every ID.
+func (h *mgHarness) callCanceled(at types.ReplicaID, key string, payload []byte) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fut, err := h.hosts[at].ProposeKey(ctx, key, payload)
+	if err != nil {
+		h.t.Errorf("ProposeKey(%q): %v", key, err)
+		cancel()
+		return
+	}
+	cancel() // timed out / client gone: abandon the wait right away
+	res, err := fut.Wait(ctx)
+	switch {
+	case err == nil:
+		// The commit raced the cancellation; the result is still valid.
+		now := time.Now()
+		k := gcid{h.hosts[at].Router().Group(key), res.ID}
+		h.mu.Lock()
+		h.results[k] = res.Value
+		h.replies[k] = now
+		h.mu.Unlock()
+	case errors.Is(err, node.ErrCanceled):
+		h.mu.Lock()
+		h.canceled++
+		h.mu.Unlock()
+	default:
+		h.t.Errorf("canceled proposal for key %q: unexpected error %v", key, err)
 	}
 }
 
 // verify checks, per group: agreement of the execution order across
-// replicas, sequential kvstore semantics of every client reply, and
-// real-time order between non-overlapping operations.
-func (h *mgHarness) verify(total int) {
+// replicas, at-most-once execution of every command (canceled
+// proposals included), sequential kvstore semantics of every client
+// reply, and real-time order between non-overlapping operations.
+// successes is the independently counted number of proposals whose
+// waits were carried to completion (the recorded results must cover at
+// least those; raced cancellations may add more); attempts additionally
+// counts canceled proposals, which may or may not have executed (but
+// never twice).
+func (h *mgHarness) verify(successes, attempts int) {
 	h.t.Helper()
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -143,16 +194,29 @@ func (h *mgHarness) verify(total int) {
 		}
 		executed += len(ref)
 
+		// At-most-once: no command may appear twice in its group's
+		// order — a canceled proposal must never be duplicated. (IDs are
+		// minted per group, so cross-group repeats are distinct commands.)
+		seen := make(map[types.CommandID]bool, len(ref))
+		for _, cid := range ref {
+			if seen[cid] {
+				h.t.Fatalf("group %d: command %v executed twice", g, cid)
+			}
+			seen[cid] = true
+		}
+
 		// Sequential semantics: replaying the group's execution order
-		// must reproduce every reply its clients saw.
+		// must reproduce every reply its clients saw. Commands without a
+		// recorded result (canceled waits) still mutate the replay state.
 		replay := kvstore.New()
-		pos := make(map[types.CommandID]int, len(ref))
+		pos := make(map[gcid]int, len(ref))
 		for i, cid := range ref {
-			pos[cid] = i
-			want := replay.Apply(h.payloads[cid])
-			got, ok := h.results[cid]
+			k := gcid{types.GroupID(g), cid}
+			pos[k] = i
+			want := replay.Apply(h.payloads[k])
+			got, ok := h.results[k]
 			if !ok {
-				h.t.Fatalf("group %d: no reply for %v", g, cid)
+				continue // no client observed this commit
 			}
 			if string(want) != string(got) {
 				h.t.Fatalf("group %d: command %d (%v): reply %q, sequential replay says %q", g, i, cid, got, want)
@@ -160,23 +224,61 @@ func (h *mgHarness) verify(total int) {
 		}
 		// Real-time order within the group: if c1's reply precedes c2's
 		// submission, c1 executes before c2.
-		for c1, p1 := range pos {
-			for c2, p2 := range pos {
-				if h.replies[c1].Before(h.submits[c2]) && p1 >= p2 {
+		for c1 := range pos {
+			r1, ok := h.replies[c1]
+			if !ok {
+				continue
+			}
+			for c2 := range pos {
+				s2, ok := h.submits[c2]
+				if !ok {
+					continue
+				}
+				if r1.Before(s2) && pos[c1] >= pos[c2] {
 					h.t.Fatalf("group %d: real-time violation: %v replied before %v was submitted but executed at %d ≥ %d",
-						g, c1, c2, p1, p2)
+						g, c1, c2, pos[c1], pos[c2])
 				}
 			}
 		}
 	}
-	if executed != total {
-		h.t.Fatalf("executed %d commands across groups, want %d", executed, total)
+	if len(h.results) < successes {
+		h.t.Fatalf("recorded %d results, but %d proposals were awaited to completion", len(h.results), successes)
+	}
+	if executed < len(h.results) {
+		h.t.Fatalf("executed %d commands across groups, but %d proposals resolved with results", executed, len(h.results))
+	}
+	if executed > attempts {
+		h.t.Fatalf("executed %d commands across groups, more than the %d proposals ever made", executed, attempts)
+	}
+}
+
+// waitConverged blocks until every replica executed the same number of
+// commands per group (trailing commits landing), or the deadline.
+func (h *mgHarness) waitConverged(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		done := true
+		for g := 0; g < h.groups; g++ {
+			for i := 1; i < len(h.orders); i++ {
+				if len(h.orders[i][g]) != len(h.orders[0][g]) {
+					done = false
+				}
+			}
+		}
+		h.mu.Unlock()
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
 // TestMultiGroupLinearizability hammers a sharded 3-replica × 3-group
-// cluster with concurrent clients over a small contended key space and
-// checks per-key (= per-group) linearizability from the recorded
+// cluster with concurrent clients over a small contended key space —
+// every command entering through the public Propose API, a slice of
+// them canceled mid-flight — and checks per-key (= per-group)
+// linearizability plus at-most-once execution from the recorded
 // histories.
 func TestMultiGroupLinearizability(t *testing.T) {
 	const (
@@ -188,6 +290,8 @@ func TestMultiGroupLinearizability(t *testing.T) {
 	)
 	h := newMGHarness(t, replicas, groups)
 	var wg sync.WaitGroup
+	var successes, attempts int64
+	var cm sync.Mutex
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -196,7 +300,6 @@ func TestMultiGroupLinearizability(t *testing.T) {
 			for k := 0; k < perCli; k++ {
 				at := types.ReplicaID(rng.Intn(replicas))
 				key := fmt.Sprintf("k%d", rng.Intn(keys))
-				cid := types.CommandID{Origin: at, Seq: uint64(c)<<32 | uint64(k+1)}
 				var payload []byte
 				switch rng.Intn(3) {
 				case 0:
@@ -206,28 +309,38 @@ func TestMultiGroupLinearizability(t *testing.T) {
 				default:
 					payload = kvstore.Delete(key)
 				}
-				h.call(at, cid, key, payload)
+				// One in five proposals is abandoned mid-flight: the
+				// client walks away (timeout, closed connection) and the
+				// command must still execute at most once.
+				if rng.Intn(5) == 0 {
+					h.callCanceled(at, key, payload)
+					cm.Lock()
+					attempts++
+					cm.Unlock()
+					continue
+				}
+				h.call(at, key, payload)
+				cm.Lock()
+				successes++
+				attempts++
+				cm.Unlock()
 			}
 		}(c)
 	}
 	wg.Wait()
-	// Let trailing commits land on every replica before comparing.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		h.mu.Lock()
-		done := true
-		for g := 0; g < groups; g++ {
-			for i := 1; i < replicas; i++ {
-				if len(h.orders[i][g]) != len(h.orders[0][g]) {
-					done = false
-				}
-			}
-		}
-		h.mu.Unlock()
-		if done {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Let trailing commits (including canceled proposals' commits) land
+	// on every replica before comparing.
+	h.waitConverged(10 * time.Second)
+	h.mu.Lock()
+	nCanceled := h.canceled
+	// A canceled proposal that still committed recorded a result; those
+	// count as successes for the history checks.
+	raced := len(h.results) - int(successes)
+	h.mu.Unlock()
+	if t.Failed() {
+		t.FailNow()
 	}
-	h.verify(clients * perCli)
+	t.Logf("%d proposals: %d awaited, %d canceled (%d of those still committed)",
+		attempts, successes, nCanceled, raced)
+	h.verify(int(successes), int(attempts))
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,11 @@ type ThroughputConfig struct {
 	// shard.Router dispatches each command to its key's group, the
 	// deployment model of `kvserver -groups`.
 	Groups int
+	// ClientBatch is the node's client-side submit batch width (the
+	// paper's client-library batching, Section VI-D): up to this many
+	// buffered proposals flush into one event-loop turn and share one
+	// coalesced PREPARE broadcast. Default 1 (no batching).
+	ClientBatch int
 	// PayloadSize is the command size (paper: 10, 100, 1000 bytes).
 	PayloadSize int
 	Warmup      time.Duration
@@ -47,10 +53,24 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	if c.Groups <= 0 {
 		c.Groups = 1
 	}
+	if c.ClientBatch <= 0 {
+		c.ClientBatch = 1
+	}
 	if c.ClientsPerReplica == 0 {
 		// Saturation is per group: each group needs its own closed-loop
-		// client population.
+		// client population. A batched run additionally scales the
+		// population with the batch width (capped): closed-loop clients
+		// re-propose in waves as each commit cascade resolves their
+		// futures, and only a population ≫ the batch width lets those
+		// waves fill SubmitBatch-sized flush chunks.
 		c.ClientsPerReplica = 16 * c.Groups
+		if c.ClientBatch > 1 {
+			perGroup := 16 * c.ClientBatch
+			if perGroup > 256 {
+				perGroup = 256
+			}
+			c.ClientsPerReplica = perGroup * c.Groups
+		}
 	}
 	if c.PayloadSize == 0 {
 		c.PayloadSize = 100
@@ -69,6 +89,7 @@ type ThroughputResult struct {
 	Protocol    Protocol
 	PayloadSize int
 	Groups      int
+	ClientBatch int
 	// OpsPerSec is committed client commands per second, summed over
 	// all replicas (and, in a sharded run, all groups).
 	OpsPerSec float64
@@ -102,45 +123,26 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		spec[i] = types.ReplicaID(i)
 	}
 
-	// replyChans[replica][client] wakes the closed-loop client.
-	replyChans := make([][]chan struct{}, n)
 	var completed atomic.Uint64
 	var measuring atomic.Bool
 
 	hosts := make([]*node.Host, n)
 	for i := 0; i < n; i++ {
-		i := i
-		replyChans[i] = make([]chan struct{}, cfg.ClientsPerReplica)
-		for c := range replyChans[i] {
-			replyChans[i][c] = make(chan struct{}, 1)
-		}
 		// The paper's throughput runs log to main memory with recovery out
 		// of scope; NullLog keeps long saturation runs from accumulating
 		// unbounded history (memory pressure would otherwise dominate).
 		host, err := node.NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.HostOptions{
-			Groups: cfg.Groups,
-			NewLog: func(types.GroupID) storage.Log { return storage.NewNullLog() },
+			Groups:      cfg.Groups,
+			SubmitBatch: cfg.ClientBatch,
+			NewLog:      func(types.GroupID) storage.Log { return storage.NewNullLog() },
 		})
 		if err != nil {
 			return nil, err
 		}
 		for g := 0; g < cfg.Groups; g++ {
-			app := &rsm.App{
-				SM: kvstore.New(),
-				OnReply: func(res types.Result) {
-					if measuring.Load() {
-						completed.Add(1)
-					}
-					cli := int(res.ID.Seq >> 32)
-					if cli < len(replyChans[i]) {
-						select {
-						case replyChans[i][cli] <- struct{}{}:
-						default:
-						}
-					}
-				},
-			}
+			app := &rsm.App{SM: kvstore.New()}
 			nd := host.Group(types.GroupID(g))
+			nd.Bind(app)
 			proto, err := newProtocol(cfg.Protocol, nd, app, types.ReplicaID(cfg.Leader), 5*time.Millisecond)
 			if err != nil {
 				return nil, err
@@ -161,8 +163,11 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	}()
 
 	// Closed-loop clients with zero think time: "clients send frequent
-	// enough commands to all replicas to saturate them".
+	// enough commands to all replicas to saturate them". Each client
+	// pipelines through the Propose future API; Stop resolves any
+	// still-pending future with ErrStopped, so no client can hang.
 	stop := make(chan struct{})
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		for c := 0; c < cfg.ClientsPerReplica; c++ {
@@ -172,22 +177,23 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 				key, g := clientKey(router, cli)
 				target := hosts[rep].Group(g)
 				payload := kvstore.Put(key, make([]byte, cfg.PayloadSize))
-				var seq uint64
 				for {
 					select {
 					case <-stop:
 						return
 					default:
 					}
-					seq++
-					target.Submit(types.Command{
-						ID:      types.CommandID{Origin: types.ReplicaID(rep), Seq: uint64(cli)<<32 | seq},
-						Payload: payload,
-					})
-					select {
-					case <-replyChans[rep][cli]:
-					case <-stop:
+					fut, err := target.Propose(ctx, payload)
+					if err != nil {
+						return // node stopped
+					}
+					// No stop-select here: the future always resolves —
+					// with the result, or ErrStopped when the host stops.
+					if _, err := fut.Result(); err != nil {
 						return
+					}
+					if measuring.Load() {
+						completed.Add(1)
 					}
 				}
 			}(i, c)
@@ -207,6 +213,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		Protocol:    cfg.Protocol,
 		PayloadSize: cfg.PayloadSize,
 		Groups:      cfg.Groups,
+		ClientBatch: cfg.ClientBatch,
 		OpsPerSec:   float64(completed.Load()) / elapsed.Seconds(),
 	}, nil
 }
@@ -231,6 +238,31 @@ func Figure8(sizes []int, perRun time.Duration) ([]ThroughputResult, error) {
 			}
 			out = append(out, *res)
 		}
+	}
+	return out, nil
+}
+
+// BatchScaling measures hot-path throughput at each client-side batch
+// width, same hardware and protocol: the client-batching study of
+// Section VI-D, recorded in BENCH_3.json. Wider batches amortize one
+// PREPARE broadcast (one encode, one frame per link) over more
+// commands, at the cost of commands waiting for the flush turn.
+func BatchScaling(batches []int, payload int, perRun time.Duration) ([]ThroughputResult, error) {
+	if len(batches) == 0 {
+		batches = []int{1, 8, 64}
+	}
+	var out []ThroughputResult
+	for _, b := range batches {
+		res, err := RunThroughput(ThroughputConfig{
+			Protocol:    ClockRSM,
+			PayloadSize: payload,
+			ClientBatch: b,
+			Duration:    perRun,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
 	}
 	return out, nil
 }
