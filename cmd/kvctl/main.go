@@ -1,10 +1,23 @@
-// Command kvctl is a minimal client for kvserver's line protocol.
+// Command kvctl is a client for kvserver's line protocol: the data
+// commands and the membership/status operator API.
 //
-// Usage:
+// Data:
 //
 //	kvctl -addr 127.0.0.1:7200 put greeting hello
 //	kvctl -addr 127.0.0.1:7200 get greeting
 //	kvctl -addr 127.0.0.1:7200 del greeting
+//
+// Operations:
+//
+//	kvctl -addr 127.0.0.1:7200 members        # per-group member sets
+//	kvctl -addr 127.0.0.1:7200 epoch          # per-group epochs
+//	kvctl -addr 127.0.0.1:7200 status         # full per-group snapshot
+//	kvctl -addr 127.0.0.1:7200 reconf 0,1,2   # reconfigure all groups
+//
+// reconf accepts replica IDs separated by commas or spaces, bare or
+// r-prefixed ("reconf 0 1 2", "reconf r0,r1,r2"). It drives every
+// group hosted by the addressed replica to the new configuration and
+// prints the resulting member set and per-group epochs.
 package main
 
 import (
@@ -28,9 +41,53 @@ func main() {
 	}
 }
 
+// buildLine translates a kvctl invocation into one protocol line.
+func buildLine(args []string) (string, error) {
+	usage := fmt.Errorf("usage: kvctl [flags] put|get|del <key> [value] | members|epoch|status | reconf <id,id,...>")
+	if len(args) == 0 {
+		return "", usage
+	}
+	switch strings.ToLower(args[0]) {
+	case "put":
+		if len(args) < 3 {
+			return "", fmt.Errorf("usage: kvctl put <key> <value>")
+		}
+		return "PUT " + args[1] + " " + strings.Join(args[2:], " "), nil
+	case "get", "del":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: kvctl %s <key>", strings.ToLower(args[0]))
+		}
+		return strings.ToUpper(args[0]) + " " + args[1], nil
+	case "members", "epoch", "status":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: kvctl %s", strings.ToLower(args[0]))
+		}
+		return strings.ToUpper(args[0]), nil
+	case "reconf":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: kvctl reconf <id,id,...>")
+		}
+		var ids []string
+		for _, arg := range args[1:] {
+			for _, tok := range strings.Split(arg, ",") {
+				if tok = strings.TrimSpace(tok); tok != "" {
+					ids = append(ids, tok)
+				}
+			}
+		}
+		if len(ids) == 0 {
+			return "", fmt.Errorf("usage: kvctl reconf <id,id,...>")
+		}
+		return "RECONF " + strings.Join(ids, ","), nil
+	default:
+		return "", usage
+	}
+}
+
 func run(addr string, timeout time.Duration, args []string) error {
-	if len(args) < 2 {
-		return fmt.Errorf("usage: kvctl [flags] put|get|del <key> [value]")
+	line, err := buildLine(args)
+	if err != nil {
+		return err
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -41,7 +98,6 @@ func run(addr string, timeout time.Duration, args []string) error {
 		return err
 	}
 
-	line := strings.ToUpper(args[0]) + " " + strings.Join(args[1:], " ")
 	if _, err := fmt.Fprintln(conn, line); err != nil {
 		return err
 	}

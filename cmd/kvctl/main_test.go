@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestBuildLine(t *testing.T) {
+	tests := []struct {
+		args    []string
+		want    string
+		wantErr bool
+	}{
+		{[]string{"put", "k", "v"}, "PUT k v", false},
+		{[]string{"PUT", "k", "two words"}, "PUT k two words", false},
+		{[]string{"put", "k", "two", "words"}, "PUT k two words", false},
+		{[]string{"get", "k"}, "GET k", false},
+		{[]string{"del", "k"}, "DEL k", false},
+		{[]string{"members"}, "MEMBERS", false},
+		{[]string{"epoch"}, "EPOCH", false},
+		{[]string{"status"}, "STATUS", false},
+		{[]string{"reconf", "0,1,2"}, "RECONF 0,1,2", false},
+		{[]string{"reconf", "0", "1", "2"}, "RECONF 0,1,2", false},
+		{[]string{"reconf", "r0,r1", "r2"}, "RECONF r0,r1,r2", false},
+		{[]string{"put", "k"}, "", true},
+		{[]string{"get"}, "", true},
+		{[]string{"members", "x"}, "", true},
+		{[]string{"reconf"}, "", true},
+		{[]string{"reconf", ","}, "", true},
+		{[]string{"bogus"}, "", true},
+		{nil, "", true},
+	}
+	for _, tt := range tests {
+		got, err := buildLine(tt.args)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("buildLine(%v) error = %v, wantErr %v", tt.args, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("buildLine(%v) = %q, want %q", tt.args, got, tt.want)
+		}
+	}
+}

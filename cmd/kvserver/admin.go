@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"clockrsm/internal/node"
+	"clockrsm/internal/types"
+)
+
+// admin serves the operator side of the line protocol on the client
+// port:
+//
+//	MEMBERS              -> OK g0=r0,r1,r2 g1=r0,r1,r2
+//	EPOCH                -> OK g0=1 g1=1
+//	STATUS               -> OK id=r0 groups=2 g0=(epoch=... ...) g1=(...)
+//	RECONF <id,id,...>   -> OK members=r0,r1,r2 epochs=g0:2,g1:2
+//
+// RECONF drives every hosted group to the new configuration atomically
+// (node.Host.ReconfigureAll); IDs may be bare ("0,1,2") or r-prefixed
+// ("r0,r1,r2"). It reports whether the line was an admin command; data
+// commands (PUT/GET/DEL) fall through to the replication path.
+func (s *server) admin(ctx context.Context, line string) (string, bool) {
+	// Only the verb decides whether this is an admin line; don't split a
+	// data command's whole value just to find out it is a PUT.
+	verb, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(verb) {
+	case "MEMBERS":
+		return "OK " + s.perGroup(func(g node.GroupStatus) string {
+			return node.MemberString(g.Members)
+		}), true
+	case "EPOCH":
+		return "OK " + s.perGroup(func(g node.GroupStatus) string {
+			return strconv.FormatUint(uint64(g.Epoch), 10)
+		}), true
+	case "STATUS":
+		st := s.host.Status()
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK id=%s groups=%d", st.ID, len(st.Groups))
+		for _, g := range st.Groups {
+			fmt.Fprintf(&b, " %s=(epoch=%d members=%s in=%t inflight=%d proposed=%d resolved=%d lat_n=%d lat_mean=%s lat_p95=%s lat_max=%s)",
+				g.Group, g.Epoch, node.MemberString(g.Members), g.InConfig,
+				g.InFlight, g.Proposed, g.Resolved,
+				g.CommitLatency.Samples, g.CommitLatency.Mean,
+				g.CommitLatency.P95, g.CommitLatency.Max)
+		}
+		return b.String(), true
+	case "RECONF":
+		args := strings.Fields(rest)
+		if len(args) != 1 {
+			return "ERR usage: RECONF <id,id,...>", true
+		}
+		members, err := parseMembers(args[0])
+		if err != nil {
+			return "ERR " + err.Error(), true
+		}
+		rctx, done := ctx, func() {}
+		if s.timeout > 0 {
+			rctx, done = context.WithTimeout(ctx, s.timeout)
+		}
+		defer done()
+		if err := s.host.ReconfigureAll(rctx, members); err != nil {
+			return "ERR reconf: " + err.Error(), true
+		}
+		st := s.host.Status()
+		epochs := make([]string, len(st.Groups))
+		for i, g := range st.Groups {
+			epochs[i] = fmt.Sprintf("%s:%d", g.Group, g.Epoch)
+		}
+		return fmt.Sprintf("OK members=%s epochs=%s",
+			node.MemberString(st.Groups[0].Members), strings.Join(epochs, ",")), true
+	}
+	return "", false
+}
+
+// perGroup renders one field per hosted group as "g0=v0 g1=v1 ...".
+func (s *server) perGroup(field func(node.GroupStatus) string) string {
+	st := s.host.Status()
+	parts := make([]string, len(st.Groups))
+	for i, g := range st.Groups {
+		parts[i] = fmt.Sprintf("%s=%s", g.Group, field(g))
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseMembers parses "0,1,2" or "r0,r1,r2" into replica IDs.
+func parseMembers(list string) ([]types.ReplicaID, error) {
+	var out []types.ReplicaID
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(strings.TrimPrefix(strings.ToLower(strings.TrimSpace(tok)), "r"))
+		if tok == "" {
+			return nil, fmt.Errorf("empty replica ID in %q", list)
+		}
+		id, err := strconv.Atoi(tok)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad replica ID %q", tok)
+		}
+		out = append(out, types.ReplicaID(id))
+	}
+	return out, nil
+}

@@ -11,6 +11,13 @@
 // per line, with the wait bounded by -client-timeout and canceled the
 // moment the client connection closes.
 //
+// The same port serves the operator API (see admin.go and kvctl):
+//
+//	MEMBERS              per-group configuration member sets
+//	EPOCH                per-group configuration epochs
+//	STATUS               per-group epoch/members/in-flight/latency snapshot
+//	RECONF <id,id,...>   atomically reconfigure every group (grow/shrink)
+//
 // Example three-replica cluster on one machine:
 //
 //	kvserver -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7200
@@ -222,6 +229,13 @@ func (s *server) serve(conn net.Conn) {
 	for line := range lines {
 		line = strings.TrimSpace(line)
 		if line == "" {
+			continue
+		}
+		// Admin commands (MEMBERS/EPOCH/STATUS/RECONF) are served on the
+		// same port, off the replication path.
+		if resp, ok := s.admin(ctx, line); ok {
+			fmt.Fprintln(w, resp)
+			w.Flush()
 			continue
 		}
 		payload, err := parse(line)

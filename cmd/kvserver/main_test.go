@@ -146,6 +146,125 @@ func testKVServerEndToEnd(t *testing.T, groups int) {
 	}
 }
 
+func TestParseMembers(t *testing.T) {
+	if ids, err := parseMembers("0,1,2"); err != nil || len(ids) != 3 || ids[2] != 2 {
+		t.Errorf("parseMembers(0,1,2) = %v, %v", ids, err)
+	}
+	if ids, err := parseMembers("r0,R1,r2"); err != nil || len(ids) != 3 || ids[1] != 1 {
+		t.Errorf("parseMembers(r0,R1,r2) = %v, %v", ids, err)
+	}
+	for _, bad := range []string{"", ",", "0,,1", "x", "r", "-1"} {
+		if _, err := parseMembers(bad); err == nil {
+			t.Errorf("parseMembers(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestKVServerAdminEndToEnd exercises the operator API over the wire on
+// a 3-replica, 2-group cluster: status introspection, an atomic shrink
+// to {0,1} and a grow back to {0,1,2}, with data commands committing
+// before, between and after the reconfigurations.
+func TestKVServerAdminEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real TCP cluster")
+	}
+	peerAddrs := freePorts(t, 3)
+	clientAddrs := freePorts(t, 3)
+	peers := strings.Join(peerAddrs, ",")
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			_ = run(i, peers, clientAddrs[i], 2, 5*time.Millisecond, 0, "", 30*time.Second)
+		}()
+	}
+	dial := func(addr string) net.Conn {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			c, err := net.Dial("tcp", addr)
+			if err == nil {
+				return c
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("server at %s never came up", addr)
+		return nil
+	}
+	c0 := dial(clientAddrs[0])
+	defer c0.Close()
+	r0 := bufio.NewReader(c0)
+	send := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(c0, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r0.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(resp)
+	}
+
+	if resp := send("PUT city Lugano"); resp != "OK (nil)" {
+		t.Fatalf("PUT reply = %q", resp)
+	}
+	if resp := send("MEMBERS"); resp != "OK g0=r0,r1,r2 g1=r0,r1,r2" {
+		t.Fatalf("MEMBERS = %q", resp)
+	}
+	if resp := send("EPOCH"); resp != "OK g0=0 g1=0" {
+		t.Fatalf("EPOCH = %q", resp)
+	}
+	if resp := send("STATUS"); !strings.HasPrefix(resp, "OK id=r0 groups=2 g0=(epoch=0 members=r0,r1,r2 in=true") {
+		t.Fatalf("STATUS = %q", resp)
+	}
+
+	// Shrink to {0,1}: both groups move atomically.
+	if resp := send("RECONF 0,1"); resp != "OK members=r0,r1 epochs=g0:1,g1:1" {
+		t.Fatalf("RECONF shrink = %q", resp)
+	}
+	if resp := send("GET city"); resp != "OK Lugano" {
+		t.Fatalf("GET after shrink = %q", resp)
+	}
+	if resp := send("PUT city Basel"); resp != "OK Lugano" {
+		t.Fatalf("PUT after shrink = %q", resp)
+	}
+
+	// Grow back, r-prefixed IDs; the rejoined replica serves reads.
+	if resp := send("RECONF r0,r1,r2"); resp != "OK members=r0,r1,r2 epochs=g0:2,g1:2" {
+		t.Fatalf("RECONF grow = %q", resp)
+	}
+	c2 := dial(clientAddrs[2])
+	defer c2.Close()
+	r2 := bufio.NewReader(c2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := fmt.Fprintln(c2, "GET city"); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r2.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(resp) == "OK Basel" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined replica never served the value: %q", resp)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Malformed operator input is rejected without touching the cluster.
+	if resp := send("RECONF 0"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("sub-majority RECONF = %q", resp)
+	}
+	if resp := send("RECONF x,y"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("garbage RECONF = %q", resp)
+	}
+	if resp := send("EPOCH"); resp != "OK g0=2 g1=2" {
+		t.Fatalf("EPOCH after failed RECONFs = %q", resp)
+	}
+}
+
 func TestCheckGroupLayoutGuardsRegrouping(t *testing.T) {
 	base := t.TempDir() + "/rsm.log"
 	// A first start passes the check, then records the count.

@@ -79,6 +79,38 @@
 // effect and BenchmarkHotPathMultiGroup its sharded variant;
 // BENCH_*.json records the trajectory across PRs.
 //
+// # Operator API
+//
+// Membership change (Algorithm 3 RECONFIGURE) is exposed as a
+// first-class control-plane surface rather than an internal recovery
+// path. Protocols that support it implement rsm.Reconfigurable —
+// Reconfigure proposes a member set, ConfigView reads the installed
+// epoch/members, and a configuration listener reports every installed
+// epoch plus the locally originated commands a reconfiguration
+// discarded. The runtime builds on that hook:
+//
+//   - node.Node gains Members/Epoch/InConfig/Status accessors (lock-free
+//     snapshots, off the data hot path; commit latency is subsampled
+//     into a fixed ring) and Reconfigure(ctx, members) — a membership
+//     change proposed through the same Future machinery as data
+//     commands, resolving when the targeted epoch's decision installs
+//     (ErrConfigConflict if a competing proposal won it).
+//   - node.Host gains ReconfigureAll(ctx, members), which drives every
+//     hosted group to the new configuration with per-group epoch
+//     barriers, retrying conflicted groups until all of them hold
+//     exactly the requested member set, and Status(), a per-group
+//     epoch/config/in-flight/latency snapshot.
+//   - Typed errors make resubmission decisions safe: ErrNotInConfig
+//     (replica outside the configuration; in-flight futures resolve
+//     with it on the removal transition instead of parking) and
+//     ErrReconfigured (command provably discarded by a
+//     reconfiguration) both guarantee the command never executed.
+//   - kvserver serves MEMBERS / EPOCH / STATUS / RECONF on the client
+//     port and kvctl has matching subcommands, so an operator can grow
+//     and shrink a live cluster from the CLI;
+//     runner.RunMembershipChurn asserts the whole story end to end
+//     (3→5→3 under load, zero lost or duplicated commands).
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results. The root-level
 // benchmarks (bench_test.go) regenerate each evaluation artifact:

@@ -294,10 +294,30 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 	// configuration.
 	r.flushOut()
 	lg := r.env.Log()
-	// Line 15: remove uncommitted PREPAREs above the baseline. Their
-	// commands either appear in d.cmds (they could have committed) or are
-	// lost; clients resubmit.
-	lg.RemovePrepares(d.ts)
+	// Locally originated commands still pending here are candidates for
+	// discard (line 15 prunes their PREPAREs): any of them absent from
+	// the decision (and the transferred prefix) was seen by no SUSPENDOK
+	// majority, so no replica can ever commit it in any epoch — it is
+	// reported dropped below, and the client may safely resubmit.
+	var candidates []types.CommandID
+	if r.onConfig != nil {
+		for i := range r.pending.h {
+			if cmd := r.pending.h[i].cmd; cmd.ID.Origin == r.env.ID() {
+				candidates = append(candidates, cmd.ID)
+			}
+		}
+	}
+	// Line 15: remove uncommitted PREPAREs — all of them, not only those
+	// above the baseline. Their commands either appear in `all` below
+	// (they could have committed; their PREPAREs are re-appended as they
+	// execute) or are lost and reported dropped; clients resubmit. An
+	// uncommitted PREPARE below the baseline is stale cross-epoch junk
+	// (within one epoch no replica's commit point passes a pending
+	// timestamp): left in the log, a later state transfer would serve it
+	// and the transferring replica would execute a command no other
+	// replica has — diverging histories and double-executing a command
+	// already reported dropped.
+	lg.RemovePrepares(types.Timestamp{})
 	r.pending.Clear()
 	clear(r.earlyAcks)
 
@@ -309,6 +329,18 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 	all = append(all, transferred...)
 	all = append(all, d.cmds...)
 	sort.Slice(all, func(i, j int) bool { return all[i].TS.Less(all[j].TS) })
+	var dropped []types.CommandID
+	if len(candidates) > 0 {
+		decided := make(map[types.CommandID]bool, len(all))
+		for _, tc := range all {
+			decided[tc.Cmd.ID] = true
+		}
+		for _, id := range candidates {
+			if !decided[id] {
+				dropped = append(dropped, id)
+			}
+		}
+	}
 	cts := lg.LastCommitTS()
 	for _, tc := range all {
 		if tc.TS.LessEq(cts) {
@@ -350,12 +382,29 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 	r.st = nil
 	r.suspended = false
 
-	// Replay commands buffered while suspended.
+	// Replay data messages that arrived tagged with this epoch before it
+	// installed: without them this replica would have a permanent gap for
+	// commands the rest of the new configuration already acknowledged.
+	r.redeliverHeld()
+
+	// Replay commands buffered while suspended; if the decision removed
+	// this replica, they cannot replicate from here and count as dropped.
 	deferred := r.deferred
 	r.deferred = nil
-	for _, cmd := range deferred {
-		r.Submit(cmd)
+	if r.inConfig[r.env.ID()] {
+		for _, cmd := range deferred {
+			r.Submit(cmd)
+		}
+	} else {
+		for _, cmd := range deferred {
+			dropped = append(dropped, cmd.ID)
+		}
 	}
+
+	// Notify last, after replies for decided commands went out: the
+	// listener observes the installed view and exactly the local commands
+	// this reconfiguration lost.
+	r.notifyConfig(dropped)
 }
 
 // sortedCmds flattens a timestamp-keyed command map in timestamp order.

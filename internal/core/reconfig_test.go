@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"clockrsm/internal/msg"
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/sim"
 	"clockrsm/internal/storage"
@@ -221,6 +222,180 @@ func TestProposalEncodingRoundTrip(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestConfigListenerReportsInstallAndDrops drives a genuine Algorithm-3
+// reconfiguration in which a far replica's in-flight command cannot
+// reach any SUSPENDOK responder: the decision excludes it, every
+// replica's listener observes the installed epoch, the origin's
+// listener reports the command dropped, and the command never executes
+// anywhere (so resubmitting it is safe).
+func TestConfigListenerReportsInstallAndDrops(t *testing.T) {
+	// r0..r3 are 1 ms apart; r4 is 200 ms from everyone, so nothing it
+	// sends lands before the reconfiguration below has decided.
+	lat := wan.NewMatrix(5)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			lat.Set(types.ReplicaID(i), types.ReplicaID(j), ms(1))
+		}
+		lat.Set(types.ReplicaID(i), 4, ms(200))
+	}
+	opts := Options{ClockTimeInterval: ms(5), ConsensusRetry: ms(500)}
+	h := newHarness(t, lat, opts, sim.ClusterOptions{})
+	events := make([][]rsm.ConfigEvent, 5)
+	h.c.Eng.At(0, func() {
+		for i, rep := range h.reps {
+			i, rep := i, rep
+			rep.SetConfigListener(func(ev rsm.ConfigEvent) { events[i] = append(events[i], ev) })
+		}
+	})
+	cid := h.submitAt(4, ms(1))
+	h.c.Eng.At(ms(2), func() {
+		h.reps[0].Reconfigure([]types.ReplicaID{0, 1, 2, 3, 4})
+	})
+	h.c.Eng.RunUntil(2 * time.Second)
+
+	for i := range h.reps {
+		if got := h.reps[i].Epoch(); got != 1 {
+			t.Errorf("replica %d epoch = %d, want 1", i, got)
+		}
+		if len(events[i]) == 0 {
+			t.Errorf("replica %d: config listener never fired", i)
+			continue
+		}
+		ev := events[i][0]
+		if ev.View.Epoch != 1 || !ev.View.InConfig || len(ev.View.Members) != 5 {
+			t.Errorf("replica %d: first event view = %+v", i, ev.View)
+		}
+	}
+	// Only the origin reports the lost command, exactly once.
+	for i := range h.reps {
+		var drops []types.CommandID
+		for _, ev := range events[i] {
+			drops = append(drops, ev.Dropped...)
+		}
+		if i == 4 {
+			if len(drops) != 1 || drops[0] != cid {
+				t.Errorf("replica 4 dropped = %v, want [%v]", drops, cid)
+			}
+		} else if len(drops) != 0 {
+			t.Errorf("replica %d dropped = %v, want none", i, drops)
+		}
+	}
+	// The dropped command executed nowhere: resubmission cannot double
+	// apply.
+	h.checkTotalOrder(0, nil)
+	if _, ok := h.replies[4][cid]; ok {
+		t.Error("dropped command produced a client reply")
+	}
+
+	// A submission at a replica outside the configuration is reported
+	// dropped immediately (the removed-replica steady state).
+	h.c.Eng.At(h.c.Eng.Now()+ms(10), func() {
+		h.reps[0].Reconfigure([]types.ReplicaID{0, 1, 2})
+	})
+	h.c.Eng.RunUntil(h.c.Eng.Now() + 2*time.Second)
+	pre := len(events[3])
+	var lateCid types.CommandID
+	h.c.Eng.At(h.c.Eng.Now()+ms(10), func() {
+		lateCid = types.CommandID{Origin: 3, Seq: 999}
+		h.reps[3].Submit(types.Command{ID: lateCid, Payload: []byte("late")})
+	})
+	h.c.Eng.RunUntil(h.c.Eng.Now() + time.Second)
+	if h.reps[3].InConfig() {
+		t.Fatal("replica 3 still in config after shrink")
+	}
+	if len(events[3]) <= pre {
+		t.Fatal("submit at removed replica fired no config event")
+	}
+	last := events[3][len(events[3])-1]
+	if last.View.InConfig || len(last.Dropped) != 1 || last.Dropped[0] != lateCid {
+		t.Errorf("removed-replica submit event = %+v", last)
+	}
+}
+
+// TestFutureEpochMessagesHeldAndRedelivered checks the install-skew
+// path: a PREPARE tagged with an epoch this replica has not installed
+// yet is parked (not dropped, not executed), and redelivered once the
+// matching reconfiguration decision installs — closing the permanent
+// history gap a dropped cross-epoch PREPARE would leave.
+func TestFutureEpochMessagesHeldAndRedelivered(t *testing.T) {
+	opts := Options{ClockTimeInterval: ms(5), ConsensusRetry: ms(500)}
+	h := newHarness(t, wan.Uniform(3, ms(10)), opts, sim.ClusterOptions{})
+	cmd := types.Command{ID: types.CommandID{Origin: 1, Seq: 77}, Payload: []byte("early")}
+	var ts types.Timestamp
+	h.c.Eng.At(ms(1), func() {
+		// r1 "already installed epoch 1" and broadcasts a PREPARE r0 has
+		// not caught up to yet.
+		ts = types.Timestamp{Wall: h.c.Replicas[0].Clock(), Node: 1}
+		h.reps[0].Deliver(1, &msg.Prepare{Epoch: 1, TS: ts, Cmd: cmd})
+	})
+	h.c.Eng.At(ms(2), func() {
+		if got := h.reps[0].HeldLen(); got != 1 {
+			t.Errorf("held = %d after future-epoch PREPARE, want 1", got)
+		}
+		if h.c.Replicas[0].Log().HasPrepare(ts) {
+			t.Error("future-epoch PREPARE was logged before its epoch installed")
+		}
+		// A genuine reconfiguration now moves everyone to epoch 1.
+		h.reps[1].Reconfigure([]types.ReplicaID{0, 1, 2})
+	})
+	h.c.Eng.RunUntil(5 * time.Second)
+	if got := h.reps[0].Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	if got := h.reps[0].HeldLen(); got != 0 {
+		t.Errorf("held = %d after install, want 0 (redelivered)", got)
+	}
+	if got := h.reps[0].HeldDropped(); got != 0 {
+		t.Errorf("heldDropped = %d, want 0 (buffer never overflowed)", got)
+	}
+	if !h.c.Replicas[0].Log().HasPrepare(ts) {
+		t.Error("held PREPARE was not redelivered at install")
+	}
+	// The redelivered command commits at r0 (sender's implicit ack plus
+	// r0's own) and executes exactly once.
+	execs := 0
+	for _, cid := range h.orders[0] {
+		if cid == cmd.ID {
+			execs++
+		}
+	}
+	if execs != 1 {
+		t.Errorf("held command executed %d times at r0, want 1", execs)
+	}
+}
+
+// TestReconfigurationPurgesStalePrepares checks that installing a
+// decision removes uncommitted PREPAREs below the baseline too: stale
+// cross-epoch junk left in the log would otherwise be served to a later
+// state transfer as if committed, executing at exactly one replica.
+func TestReconfigurationPurgesStalePrepares(t *testing.T) {
+	opts := Options{ClockTimeInterval: ms(5), ConsensusRetry: ms(500)}
+	h := newHarness(t, wan.Uniform(3, ms(10)), opts, sim.ClusterOptions{})
+	// Commit a few commands so the reconfiguration baseline is ahead of
+	// the junk timestamp below.
+	for k := 0; k < 4; k++ {
+		h.submitAt(types.ReplicaID(k%3), time.Duration(k*20)*time.Millisecond)
+	}
+	h.c.Eng.RunUntil(500 * time.Millisecond)
+	// Plant an uncommitted PREPARE below the commit frontier — the
+	// residue a rejected cross-epoch PREPARE would leave.
+	junkTS := types.Timestamp{Wall: 1, Node: 2}
+	junk := types.Command{ID: types.CommandID{Origin: 2, Seq: 999}, Payload: []byte("junk")}
+	h.c.Eng.At(h.c.Eng.Now(), func() {
+		h.c.Replicas[0].Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: junkTS, Cmd: junk})
+		h.reps[0].Reconfigure([]types.ReplicaID{0, 1, 2})
+	})
+	h.c.Eng.RunUntil(h.c.Eng.Now() + 5*time.Second)
+	if got := h.reps[0].Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	if h.c.Replicas[0].Log().HasPrepare(junkTS) {
+		t.Error("stale uncommitted PREPARE below the baseline survived the reconfiguration")
+	}
+	// The junk never executed anywhere.
+	h.checkTotalOrder(4, nil)
 }
 
 func TestSubmitWhileSuspendedIsDeferred(t *testing.T) {

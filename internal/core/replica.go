@@ -96,6 +96,23 @@ type Replica struct {
 	rejoinTarget types.Epoch
 	// deferred buffers client commands submitted while suspended.
 	deferred []types.Command
+	// held buffers PREPARE / PREPAREOK / CLOCKTIME messages that arrive
+	// tagged with a future epoch: the sender installed a reconfiguration
+	// decision this replica has not applied yet. Dropping them instead
+	// would leave a permanent gap — a new-epoch command can commit with
+	// a majority of Spec that excludes the stragglers, whose stability
+	// rule then lets them commit past the hole. The window is bounded by
+	// the install skew (stability stalls the sender's commits until this
+	// replica speaks the new epoch), so the buffer stays small; it is
+	// capped as a backstop.
+	held []heldMsg
+	// heldDropped counts messages discarded on held-buffer overflow.
+	heldDropped uint64
+	// onConfig, when set, observes every installed configuration and
+	// every locally originated command the protocol discards (see
+	// rsm.Reconfigurable). Fired on the event loop, off the data hot
+	// path: only reconfigurations and refused submissions reach it.
+	onConfig func(ev rsm.ConfigEvent)
 
 	// Batch-turn state: between BeginBatch and EndBatch (or while
 	// processing one msg.Batch), outgoing broadcasts accumulate in
@@ -116,8 +133,9 @@ type Replica struct {
 }
 
 var (
-	_ rsm.Protocol    = (*Replica)(nil)
-	_ rsm.IDAllocator = (*Replica)(nil)
+	_ rsm.Protocol       = (*Replica)(nil)
+	_ rsm.IDAllocator    = (*Replica)(nil)
+	_ rsm.Reconfigurable = (*Replica)(nil)
 )
 
 // New creates a Clock-RSM replica over env, executing committed commands
@@ -190,8 +208,34 @@ func (r *Replica) Config() []types.ReplicaID {
 // configuration.
 func (r *Replica) InConfig() bool { return r.inConfig[r.env.ID()] }
 
+// ConfigView implements rsm.Reconfigurable: the installed epoch, a copy
+// of the member set, and the local replica's membership.
+func (r *Replica) ConfigView() rsm.ConfigView {
+	return rsm.ConfigView{Epoch: r.epoch, Members: r.Config(), InConfig: r.InConfig()}
+}
+
+// SetConfigListener implements rsm.Reconfigurable. The listener fires on
+// the event loop: once per installed configuration (with any locally
+// originated commands the reconfiguration discarded), and for each
+// command refused because the replica is outside the configuration.
+func (r *Replica) SetConfigListener(fn func(ev rsm.ConfigEvent)) { r.onConfig = fn }
+
+// notifyConfig fires the configuration listener with the current view
+// and the given discarded local commands.
+func (r *Replica) notifyConfig(dropped []types.CommandID) {
+	if r.onConfig == nil {
+		return
+	}
+	r.onConfig(rsm.ConfigEvent{View: r.ConfigView(), Dropped: dropped})
+}
+
 // Committed returns the number of commands executed so far.
 func (r *Replica) Committed() uint64 { return r.committed }
+
+// HeldDropped returns how many future-epoch messages were discarded on
+// hold-buffer overflow. Non-zero means a straggler may have a history
+// gap only a state transfer can close; see maxHeld.
+func (r *Replica) HeldDropped() uint64 { return r.heldDropped }
 
 // Waits returns how many times the Algorithm 1 line-8 wait actually had
 // to block (expected to be rare with reasonable clock skew).
@@ -226,7 +270,11 @@ func (r *Replica) Submit(cmd types.Command) {
 		return
 	}
 	if !r.inConfig[r.env.ID()] {
-		return // removed from the configuration; clients must fail over
+		// Removed from the configuration: the command cannot replicate
+		// from here. Report it discarded so the runtime can fail the
+		// caller (node.ErrNotInConfig) instead of parking it forever.
+		r.notifyConfig([]types.CommandID{cmd.ID})
+		return
 	}
 	ts := types.Timestamp{Wall: r.env.Clock(), Node: r.env.ID()}
 	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: ts, Cmd: cmd})
@@ -304,17 +352,78 @@ func (r *Replica) flushOut() {
 	r.outBuf = r.outBuf[:0]
 }
 
-// deliverOne dispatches a single (non-batch) protocol message.
+// heldMsg is one future-epoch message parked until its epoch installs.
+type heldMsg struct {
+	epoch types.Epoch
+	from  types.ReplicaID
+	m     msg.Message
+}
+
+// maxHeld caps the future-epoch buffer. The in-flight windows of the
+// senders bound the PREPAREs outstanding during an install-skew window,
+// so the cap is a backstop, not a working limit.
+const maxHeld = 1 << 16
+
+// hold parks a future-epoch message for redelivery at install.
+func (r *Replica) hold(epoch types.Epoch, from types.ReplicaID, m msg.Message) {
+	if len(r.held) >= maxHeld {
+		copy(r.held, r.held[1:])
+		r.held[len(r.held)-1] = heldMsg{}
+		r.held = r.held[:len(r.held)-1]
+		r.heldDropped++
+	}
+	r.held = append(r.held, heldMsg{epoch: epoch, from: from, m: m})
+}
+
+// HeldLen returns the number of future-epoch messages parked for
+// redelivery (empty in steady state).
+func (r *Replica) HeldLen() int { return len(r.held) }
+
+// redeliverHeld replays parked messages whose epoch has just been
+// installed, drops those from skipped epochs, and keeps the rest. It
+// runs at the end of finishApply, with the new configuration in force.
+func (r *Replica) redeliverHeld() {
+	if len(r.held) == 0 {
+		return
+	}
+	pending := r.held
+	r.held = nil
+	for i, h := range pending {
+		switch {
+		case h.epoch == r.epoch:
+			r.deliverOne(h.from, h.m)
+		case h.epoch > r.epoch:
+			r.held = append(r.held, h)
+		}
+		pending[i] = heldMsg{}
+	}
+}
+
+// deliverOne dispatches a single (non-batch) protocol message. Data
+// messages tagged with a future epoch are parked until the matching
+// reconfiguration decision installs (see hold).
 func (r *Replica) deliverOne(from types.ReplicaID, m msg.Message) {
 	if r.px.Deliver(from, m) {
 		return
 	}
 	switch mm := m.(type) {
 	case *msg.Prepare:
+		if mm.Epoch > r.epoch {
+			r.hold(mm.Epoch, from, m)
+			return
+		}
 		r.onPrepare(from, mm)
 	case *msg.PrepareOK:
+		if mm.Epoch > r.epoch {
+			r.hold(mm.Epoch, from, m)
+			return
+		}
 		r.onPrepareOK(from, mm)
 	case *msg.ClockTime:
+		if mm.Epoch > r.epoch {
+			r.hold(mm.Epoch, from, m)
+			return
+		}
 		r.onClockTime(from, mm)
 	case *msg.Suspend:
 		r.onSuspend(from, mm)

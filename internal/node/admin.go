@@ -1,0 +1,331 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/stats"
+	"clockrsm/internal/types"
+)
+
+// Errors returned by the operator API. They are sentinel values: match
+// with errors.Is.
+var (
+	// ErrNotInConfig reports that this replica is outside the current
+	// configuration, so it cannot replicate commands. Futures resolved
+	// with it never executed anywhere — the client may fail over to a
+	// configured replica and resubmit without risking duplicates.
+	ErrNotInConfig = errors.New("node: replica not in the current configuration")
+	// ErrReconfigured reports that a reconfiguration discarded the
+	// command before it reached a majority. The protocol guarantees such
+	// a command can never execute in any epoch, so resubmitting it is
+	// safe.
+	ErrReconfigured = errors.New("node: command discarded by a reconfiguration")
+	// ErrConfigConflict reports that a competing proposal won the epoch a
+	// Reconfigure targeted: the configuration changed, but not to the
+	// requested member set. Re-issue against the new epoch if still
+	// desired.
+	ErrConfigConflict = errors.New("node: competing reconfiguration won the epoch")
+	// ErrNotReconfigurable reports that the protocol bound to the node
+	// has fixed membership (it does not implement rsm.Reconfigurable).
+	ErrNotReconfigurable = errors.New("node: protocol does not support reconfiguration")
+	// ErrBadConfig reports an invalid member set: empty, duplicated or
+	// out-of-spec IDs, or fewer members than a majority of Spec (the
+	// commit quorum is a majority of Spec, so a smaller configuration
+	// could never commit).
+	ErrBadConfig = errors.New("node: invalid configuration")
+)
+
+// latRingSize bounds the sampled commit-latency ring.
+const latRingSize = 512
+
+// latSampleMask subsamples proposals for latency measurement: one in
+// (mask+1) admitted proposals is timed, keeping the instrumentation off
+// the data hot path.
+const latSampleMask = 15
+
+// confWaiter is one pending Reconfigure: its future resolves when the
+// decision for the targeted epoch is installed — with success if the
+// installed member set matches the target, ErrConfigConflict otherwise.
+type confWaiter struct {
+	epoch  types.Epoch
+	target []types.ReplicaID // canonical: sorted, deduplicated
+	fut    *Future
+}
+
+// LatencySummary summarizes the sampled commit latency of recent
+// proposals (admission to resolution).
+type LatencySummary struct {
+	Samples int
+	Mean    time.Duration
+	P95     time.Duration
+	Max     time.Duration
+}
+
+// GroupStatus is a point-in-time snapshot of one replication group on a
+// node: the installed configuration, client-API pressure, and sampled
+// commit latency. Reading it never touches the event loop.
+type GroupStatus struct {
+	Group    types.GroupID
+	Epoch    types.Epoch
+	Members  []types.ReplicaID
+	InConfig bool
+	// InFlight is the number of admitted, unresolved data proposals
+	// (window slots in use); Proposed counts every data-proposal
+	// admission since start. Control-plane futures (Reconfigure) are
+	// excluded from both.
+	InFlight int
+	Proposed uint64
+	// Resolved counts futures resolved for any reason (results, errors,
+	// sweeps), control plane included.
+	Resolved      uint64
+	CommitLatency LatencySummary
+}
+
+// Epoch returns the configuration epoch this node has installed. It is
+// safe to call from any goroutine and never blocks on the event loop.
+func (n *Node) Epoch() types.Epoch {
+	if v := n.view.Load(); v != nil {
+		return v.Epoch
+	}
+	return 0
+}
+
+// Members returns the member set of the configuration this node has
+// installed (a copy). Before Start it returns the full Spec.
+func (n *Node) Members() []types.ReplicaID {
+	if v := n.view.Load(); v != nil {
+		return append([]types.ReplicaID(nil), v.Members...)
+	}
+	return append([]types.ReplicaID(nil), n.spec...)
+}
+
+// InConfig reports whether this replica is part of the configuration it
+// has installed. A replica outside the configuration fails proposals
+// with ErrNotInConfig instead of parking them.
+func (n *Node) InConfig() bool {
+	if v := n.view.Load(); v != nil {
+		return v.InConfig
+	}
+	return true
+}
+
+// Status snapshots this group's control-plane state. Lock-free reads of
+// the config view and counters; the latency summary copies the sampled
+// ring under a mutex nothing on the hot path holds. Epoch, Members and
+// InConfig come from one view load, so the triple is never torn across
+// a concurrent reconfiguration.
+func (n *Node) Status() GroupStatus {
+	st := GroupStatus{
+		Group:         n.group,
+		InFlight:      len(n.window),
+		Proposed:      n.proposed.Load(),
+		Resolved:      n.resolved.Load(),
+		CommitLatency: n.latencySummary(),
+	}
+	if v := n.view.Load(); v != nil {
+		st.Epoch = v.Epoch
+		st.Members = append([]types.ReplicaID(nil), v.Members...)
+		st.InConfig = v.InConfig
+	} else {
+		st.Members = append([]types.ReplicaID(nil), n.spec...)
+		st.InConfig = true
+	}
+	return st
+}
+
+// Reconfigure proposes replacing the group's configuration with members
+// at the next epoch, through the same future machinery as data
+// commands: the returned Future resolves once the targeted epoch's
+// decision is installed — with the canonical member list as its Result
+// value on success, or ErrConfigConflict if a competing proposal
+// (another operator, the failure detector) won the epoch. A Reconfigure
+// to the configuration already in force succeeds immediately without
+// consuming an epoch.
+//
+// Reconfiguration bypasses the MaxInFlight window deliberately: a
+// stalled group fills the window with proposals that only a
+// reconfiguration can unblock, and the repair operation must not queue
+// behind the work it is meant to unstick. Stop still sweeps the future.
+//
+// members must be non-empty IDs from Spec, without duplicates, and at
+// least a majority of Spec (the commit quorum); otherwise ErrBadConfig.
+func (n *Node) Reconfigure(ctx context.Context, members []types.ReplicaID) (*Future, error) {
+	target, err := n.canonicalMembers(members)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := n.proto.(rsm.Reconfigurable); !ok {
+		return nil, ErrNotReconfigurable
+	}
+	f, err := n.admitControl(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !n.enqueue(event{fn: func() { n.execReconfigure(f, target) }}) {
+		f.resolve(types.Result{}, ErrStopped)
+		return nil, ErrStopped
+	}
+	return f, nil
+}
+
+// execReconfigure runs on the event loop: it registers the epoch
+// barrier and hands the proposal to the protocol.
+func (n *Node) execReconfigure(f *Future, target []types.ReplicaID) {
+	if f.resolved() {
+		return
+	}
+	v := n.recon.ConfigView()
+	if membersEqual(canonical(v.Members), target) {
+		f.resolve(types.Result{Value: memberBytes(target)}, nil)
+		return
+	}
+	n.confWaiters = append(n.confWaiters, &confWaiter{epoch: v.Epoch + 1, target: target, fut: f})
+	n.recon.Reconfigure(target)
+}
+
+// onConfigEvent is the protocol's configuration listener; it runs on the
+// event loop. It refreshes the lock-free status view, fails futures for
+// commands the protocol discarded, and resolves Reconfigure barriers.
+func (n *Node) onConfigEvent(ev rsm.ConfigEvent) {
+	v := ev.View
+	n.view.Store(&v)
+	n.inConfigLoop = v.InConfig
+
+	if !v.InConfig {
+		// This replica left the configuration. Every remaining waiter's
+		// command either already executed (its future resolved before this
+		// event) or was pruned by the reconfiguration and can never
+		// execute — fail them all so callers fail over instead of parking
+		// until their deadline.
+		for seq, f := range n.waiters {
+			delete(n.waiters, seq)
+			f.resolve(types.Result{}, ErrNotInConfig)
+		}
+	} else {
+		for _, id := range ev.Dropped {
+			if f, ok := n.waiters[id.Seq]; ok {
+				delete(n.waiters, id.Seq)
+				f.resolve(types.Result{}, ErrReconfigured)
+			}
+		}
+	}
+
+	if len(n.confWaiters) == 0 {
+		return
+	}
+	installed := canonical(v.Members)
+	kept := n.confWaiters[:0]
+	for _, w := range n.confWaiters {
+		switch {
+		case w.fut.resolved(): // canceled or swept; drop the entry
+		case v.Epoch >= w.epoch:
+			if membersEqual(installed, w.target) {
+				w.fut.resolve(types.Result{Value: memberBytes(w.target)}, nil)
+			} else {
+				w.fut.resolve(types.Result{}, ErrConfigConflict)
+			}
+		default:
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(n.confWaiters); i++ {
+		n.confWaiters[i] = nil
+	}
+	n.confWaiters = kept
+}
+
+// canonicalMembers validates and canonicalizes an operator-supplied
+// member set against Spec.
+func (n *Node) canonicalMembers(members []types.ReplicaID) ([]types.ReplicaID, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: empty member set", ErrBadConfig)
+	}
+	inSpec := make(map[types.ReplicaID]bool, len(n.spec))
+	for _, id := range n.spec {
+		inSpec[id] = true
+	}
+	seen := make(map[types.ReplicaID]bool, len(members))
+	for _, id := range members {
+		if !inSpec[id] {
+			return nil, fmt.Errorf("%w: %v is not in the system specification %v", ErrBadConfig, id, n.spec)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate member %v", ErrBadConfig, id)
+		}
+		seen[id] = true
+	}
+	if maj := types.Majority(len(n.spec)); len(members) < maj {
+		return nil, fmt.Errorf("%w: %d members, need at least a majority of Spec (%d of %d)",
+			ErrBadConfig, len(members), maj, len(n.spec))
+	}
+	return canonical(members), nil
+}
+
+// canonical returns a sorted copy of a member set.
+func canonical(members []types.ReplicaID) []types.ReplicaID {
+	out := append([]types.ReplicaID(nil), members...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// membersEqual compares two canonical member sets.
+func membersEqual(a, b []types.ReplicaID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memberBytes renders a canonical member set as the Result value of a
+// successful Reconfigure ("r0,r1,r2").
+func memberBytes(members []types.ReplicaID) []byte {
+	return []byte(MemberString(members))
+}
+
+// MemberString renders a member set as a comma-separated list of replica
+// IDs ("r0,r1,r2").
+func MemberString(members []types.ReplicaID) string {
+	s := ""
+	for i, id := range members {
+		if i > 0 {
+			s += ","
+		}
+		s += id.String()
+	}
+	return s
+}
+
+// recordLatency folds one sampled commit latency into the ring.
+func (n *Node) recordLatency(d time.Duration) {
+	n.latMu.Lock()
+	if len(n.lat) < latRingSize {
+		n.lat = append(n.lat, d)
+	} else {
+		n.lat[n.latPos] = d
+		n.latPos = (n.latPos + 1) % latRingSize
+	}
+	n.latMu.Unlock()
+}
+
+// latencySummary summarizes the sampled ring.
+func (n *Node) latencySummary() LatencySummary {
+	n.latMu.Lock()
+	vals := append([]time.Duration(nil), n.lat...)
+	n.latMu.Unlock()
+	if len(vals) == 0 {
+		return LatencySummary{}
+	}
+	var s stats.Sample
+	s.AddAll(vals)
+	return LatencySummary{Samples: s.Count(), Mean: s.Mean(), P95: s.P95(), Max: s.Max()}
+}

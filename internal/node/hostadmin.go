@@ -1,0 +1,102 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/types"
+)
+
+// HostStatus is a point-in-time snapshot of every replication group
+// hosted by a node.
+type HostStatus struct {
+	ID     types.ReplicaID
+	Groups []GroupStatus
+}
+
+// Status snapshots every group's control-plane state. It never blocks
+// on any group's event loop.
+func (h *Host) Status() HostStatus {
+	st := HostStatus{ID: h.id}
+	for _, n := range h.nodes {
+		st.Groups = append(st.Groups, n.Status())
+	}
+	return st
+}
+
+// ReconfigureAll drives every hosted group to the given configuration,
+// all-or-nothing: either every group ends up with exactly this member
+// set, or an error reports which groups could not be moved (and the
+// operator retries — the call is idempotent, and groups already at the
+// target succeed immediately).
+//
+// Groups reconfigure independently (each is its own consensus domain),
+// so atomicity is achieved by per-group epoch barriers: for each group
+// the call proposes the target at the group's next epoch, waits for
+// that epoch's decision to install, and — if a competing proposal (the
+// failure detector, another operator) won the epoch — re-proposes at
+// the new epoch until the group lands on the target or ctx expires. No
+// group is left between epochs when the call returns successfully.
+//
+// The member set is validated once, up front, and every group's
+// protocol must support reconfiguration before any group is touched, so
+// a malformed request changes nothing.
+func (h *Host) ReconfigureAll(ctx context.Context, members []types.ReplicaID) error {
+	if _, err := h.nodes[0].canonicalMembers(members); err != nil {
+		return err
+	}
+	for _, n := range h.nodes {
+		if _, ok := n.proto.(rsm.Reconfigurable); !ok {
+			return fmt.Errorf("host %v: group %v: %w", h.id, n.group, ErrNotReconfigurable)
+		}
+	}
+	errs := make([]error, len(h.nodes))
+	var wg sync.WaitGroup
+	for i, n := range h.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			errs[i] = n.reconfigureUntil(ctx, members)
+		}(i, n)
+	}
+	wg.Wait()
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("group %v: %w", h.nodes[i].group, err))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("host %v: reconfiguration incomplete (%d of %d groups): %w",
+			h.id, len(failed), len(h.nodes), errors.Join(failed...))
+	}
+	return nil
+}
+
+// reconfigureUntil proposes members at successive epochs until the
+// group installs exactly that set or ctx expires. Each lost epoch
+// (ErrConfigConflict) re-proposes at the new epoch — the per-group
+// epoch barrier ReconfigureAll builds on.
+func (n *Node) reconfigureUntil(ctx context.Context, members []types.ReplicaID) error {
+	for {
+		fut, err := n.Reconfigure(ctx, members)
+		if err != nil {
+			return err
+		}
+		_, err = fut.Wait(ctx)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrConfigConflict):
+			if ctx.Err() != nil {
+				return ErrCanceled
+			}
+			continue
+		default:
+			return err
+		}
+	}
+}

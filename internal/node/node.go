@@ -12,6 +12,7 @@ package node
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clockrsm/internal/clock"
@@ -114,6 +115,31 @@ type Node struct {
 	mint    rsm.IDAllocator
 	nextSeq uint64
 
+	// Control-plane state (see admin.go). recon is the protocol's
+	// reconfiguration interface (nil for fixed-membership protocols);
+	// view is the lock-free status snapshot refreshed by config events;
+	// inConfigLoop is the loop-owned fast-path copy of view.InConfig the
+	// submission path checks; confWaiters are pending Reconfigure
+	// futures, resolved when their epoch barrier passes.
+	recon        rsm.Reconfigurable
+	view         atomic.Pointer[rsm.ConfigView]
+	inConfigLoop bool
+	confWaiters  []*confWaiter
+
+	// Status counters and the sampled commit-latency ring (admin.go).
+	proposed atomic.Uint64
+	resolved atomic.Uint64
+	latMu    sync.Mutex
+	lat      []time.Duration
+	latPos   int
+
+	// timers tracks outstanding After timers so Stop can cancel them:
+	// without this, self-rescheduling protocol timers (CLOCKTIME, failure
+	// detection, Rejoin retries) keep firing into a stopped node.
+	timerMu       sync.Mutex
+	timers        map[*time.Timer]struct{}
+	timersStopped bool
+
 	events    chan event
 	quit      chan struct{}
 	done      chan struct{}
@@ -178,6 +204,7 @@ func newNode(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 		failFast:    opts.FailFast,
 		submitBatch: sbatch,
 		waiters:     make(map[uint64]*Future),
+		timers:      make(map[*time.Timer]struct{}),
 		events:      make(chan event, qlen),
 		quit:        make(chan struct{}),
 		done:        make(chan struct{}),
@@ -236,9 +263,28 @@ func (n *Node) SendAll(dst []types.ReplicaID, m msg.Message) {
 	}
 }
 
-// After implements rsm.Env: the callback runs on the event loop.
+// After implements rsm.Env: the callback runs on the event loop. The
+// timer is tracked so Stop cancels it; a stopped node schedules nothing.
 func (n *Node) After(d time.Duration, fn func()) {
-	time.AfterFunc(d, func() { n.enqueue(event{fn: fn}) })
+	n.timerMu.Lock()
+	if n.timersStopped {
+		n.timerMu.Unlock()
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		// The lock orders this callback after t landed in the map, and
+		// after a concurrent Stop's cancellation sweep.
+		n.timerMu.Lock()
+		delete(n.timers, t)
+		stopped := n.timersStopped
+		n.timerMu.Unlock()
+		if !stopped {
+			n.enqueue(event{fn: fn})
+		}
+	})
+	n.timers[t] = struct{}{}
+	n.timerMu.Unlock()
 }
 
 // Log implements rsm.Env.
@@ -287,20 +333,45 @@ func (n *Node) startLoop() error {
 	// itself, so proposals and any direct protocol use share one
 	// collision-free sequence.
 	n.mint, _ = n.proto.(rsm.IDAllocator)
+	// Wire the control plane: the protocol's configuration events keep
+	// the lock-free status view fresh, fail futures for discarded
+	// commands, and resolve Reconfigure epoch barriers (admin.go). The
+	// loop has not started yet, so reading the initial view is safe.
+	if rc, ok := n.proto.(rsm.Reconfigurable); ok {
+		n.recon = rc
+		rc.SetConfigListener(n.onConfigEvent)
+		v := rc.ConfigView()
+		n.view.Store(&v)
+		n.inConfigLoop = v.InConfig
+	} else {
+		v := rsm.ConfigView{Members: append([]types.ReplicaID(nil), n.spec...), InConfig: true}
+		n.view.Store(&v)
+		n.inConfigLoop = true
+	}
 	n.loopStarted = true
 	go n.run()
 	return nil
 }
 
 // stopLoop terminates the event loop without touching the transport,
-// then fails every unresolved proposal with ErrStopped. Idempotent;
-// concurrent callers block until the sweep completed.
+// cancels every outstanding timer, then fails every unresolved proposal
+// with ErrStopped. Idempotent; concurrent callers block until the sweep
+// completed.
 func (n *Node) stopLoop() {
 	n.stopOnce.Do(func() {
 		close(n.quit)
 		if n.loopStarted {
 			<-n.done
 		}
+		// Cancel pending timers (CLOCKTIME / failure-detector / Rejoin
+		// retry chains) so they stop firing into the dead loop.
+		n.timerMu.Lock()
+		n.timersStopped = true
+		for t := range n.timers {
+			t.Stop()
+		}
+		clear(n.timers)
+		n.timerMu.Unlock()
 		n.sweepProposals()
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/types"
@@ -26,9 +27,10 @@ var (
 	ErrOverloaded = errors.New("node: in-flight window full")
 )
 
-// Future is the pending result of one Propose call. It resolves exactly
-// once: with the command's execution result, or with ErrCanceled /
-// ErrStopped. All methods are safe for concurrent use.
+// Future is the pending result of one Propose or Reconfigure call. It
+// resolves exactly once: with the operation's result, or with an error
+// (ErrCanceled, ErrStopped, or one of the admin.go membership errors).
+// All methods are safe for concurrent use.
 type Future struct {
 	n       *Node
 	payload []byte
@@ -39,6 +41,12 @@ type Future struct {
 	// seq is the minted command sequence, published by the event loop at
 	// submission; Cancel reads it to unregister the completion waiter.
 	seq atomic.Uint64
+	// t0 is set on the subsampled proposals whose commit latency feeds
+	// the Status ring (admin.go); zero on the rest.
+	t0 time.Time
+	// control marks a future admitted outside the data-plane window
+	// (Reconfigure): resolve must not release a slot it never took.
+	control bool
 
 	once sync.Once
 	done chan struct{}
@@ -117,10 +125,17 @@ func (f *Future) resolve(res types.Result, err error) {
 		}
 		f.prev, f.next = nil, nil
 		n.propMu.Unlock()
+		n.resolved.Add(1)
+		if err == nil && !f.t0.IsZero() {
+			n.recordLatency(time.Since(f.t0))
+		}
 		// Release the window slot before publishing the resolution, so a
 		// caller that observes the future done can immediately re-propose
 		// without a spurious ErrOverloaded from a slot still held here.
-		<-n.window
+		// Control-plane futures never took one.
+		if !f.control {
+			<-n.window
+		}
 		close(f.done)
 	})
 }
@@ -160,6 +175,35 @@ func (f *Future) resolved() bool {
 // within this node's replication group; sibling groups of a Host mint
 // their own sequences, so cross-group consumers key by (group, ID).
 func (n *Node) Propose(ctx context.Context, payload []byte) (*Future, error) {
+	f, err := n.admit(ctx, payload)
+	if err != nil {
+		return nil, err
+	}
+	if n.submitBatch > 1 {
+		n.propMu.Lock()
+		n.propBuf = append(n.propBuf, f)
+		queued := n.flushQueued
+		n.flushQueued = true
+		n.propMu.Unlock()
+		if !queued {
+			// One flush event drains the whole buffer; later proposals
+			// join it for free until the loop gets there.
+			n.enqueue(event{flush: true})
+		}
+		return f, nil
+	}
+	if !n.enqueue(event{fut: f}) {
+		f.resolve(types.Result{}, ErrStopped)
+		return nil, ErrStopped
+	}
+	return f, nil
+}
+
+// admit performs the shared admission path of Propose and Reconfigure:
+// it takes a window slot (blocking, failing fast, or aborting with the
+// context as configured), allocates the future and links it into the
+// in-flight registry so Stop sweeps it.
+func (n *Node) admit(ctx context.Context, payload []byte) (*Future, error) {
 	if ctx.Err() != nil {
 		return nil, ErrCanceled // the caller is already gone; admit nothing
 	}
@@ -178,35 +222,50 @@ func (n *Node) Propose(ctx context.Context, payload []byte) (*Future, error) {
 		}
 	}
 	f := &Future{n: n, payload: payload, done: make(chan struct{})}
-	n.propMu.Lock()
-	if n.propStopped {
-		n.propMu.Unlock()
+	// Subsample commit latency for Status: one timed proposal per
+	// (latSampleMask+1) admissions keeps the clock reads off the hot
+	// path.
+	if n.proposed.Add(1)&latSampleMask == 0 {
+		f.t0 = time.Now()
+	}
+	if err := n.register(f); err != nil {
 		<-n.window
-		return nil, ErrStopped
+		return nil, err
+	}
+	return f, nil
+}
+
+// admitControl admits a control-plane future (Reconfigure): it joins
+// the in-flight registry so Stop sweeps it, but bypasses the data
+// window, the Proposed counter and the latency sampling — a
+// reconfiguration must stay proposable when the window is full of
+// proposals that only the reconfiguration itself can unblock, and its
+// barrier duration is not a data commit latency.
+func (n *Node) admitControl(ctx context.Context) (*Future, error) {
+	if ctx.Err() != nil {
+		return nil, ErrCanceled
+	}
+	f := &Future{n: n, control: true, done: make(chan struct{})}
+	if err := n.register(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// register links a future into the in-flight registry unless the node
+// already stopped.
+func (n *Node) register(f *Future) error {
+	n.propMu.Lock()
+	defer n.propMu.Unlock()
+	if n.propStopped {
+		return ErrStopped
 	}
 	f.next = n.inflight
 	if n.inflight != nil {
 		n.inflight.prev = f
 	}
 	n.inflight = f
-	if n.submitBatch > 1 {
-		n.propBuf = append(n.propBuf, f)
-		queued := n.flushQueued
-		n.flushQueued = true
-		n.propMu.Unlock()
-		if !queued {
-			// One flush event drains the whole buffer; later proposals
-			// join it for free until the loop gets there.
-			n.enqueue(event{flush: true})
-		}
-		return f, nil
-	}
-	n.propMu.Unlock()
-	if !n.enqueue(event{fut: f}) {
-		f.resolve(types.Result{}, ErrStopped)
-		return nil, ErrStopped
-	}
-	return f, nil
+	return nil
 }
 
 // Bind connects the replicated application to this node's proposal
@@ -229,6 +288,13 @@ func (n *Node) Bind(app *rsm.App) {
 // so a canceled proposal can never execute twice.
 func (n *Node) execPropose(f *Future) {
 	if f.resolved() {
+		return
+	}
+	// A replica outside the configuration cannot replicate: fail fast so
+	// the client fails over, instead of handing the protocol a command
+	// it would silently drop (and parking the future until its deadline).
+	if n.recon != nil && !n.inConfigLoop {
+		f.resolve(types.Result{}, ErrNotInConfig)
 		return
 	}
 	var id types.CommandID

@@ -290,6 +290,9 @@ func TestHostStopUnderLoad(t *testing.T) {
 					return
 				}
 				if _, err := fut.Result(); err != nil {
+					if errors.Is(err, ErrReconfigured) {
+						continue // the mid-test Rejoin churned an epoch; resubmit
+					}
 					if !errors.Is(err, ErrStopped) {
 						t.Errorf("future: %v", err)
 					}
@@ -301,10 +304,29 @@ func TestHostStopUnderLoad(t *testing.T) {
 		}(p)
 	}
 
-	// Let the load ramp, then pull the rug out under it.
+	// Let the load ramp, then put one replica into a Rejoin cycle: its
+	// retry timer (2× the consensus retry timeout) must not survive the
+	// Stop below.
 	time.Sleep(100 * time.Millisecond)
+	hosts[2].Group(0).Do(func() {
+		hosts[2].Group(0).Protocol().(*core.Replica).Rejoin()
+	})
+	time.Sleep(50 * time.Millisecond)
 	for _, h := range hosts {
 		h.Stop()
+	}
+	// Every group's tracked timers — including the Rejoin retry — are
+	// cancelled by Stop.
+	for _, h := range hosts {
+		for g := 0; g < groups; g++ {
+			nd := h.Group(types.GroupID(g))
+			nd.timerMu.Lock()
+			left := len(nd.timers)
+			nd.timerMu.Unlock()
+			if left != 0 {
+				t.Errorf("host %v group %d: %d timers still pending after Stop", h.ID(), g, left)
+			}
+		}
 	}
 
 	loadDone := make(chan struct{})

@@ -1,0 +1,420 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/shard"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// ChurnConfig describes a membership-churn experiment: a multi-group
+// cluster serving a closed-loop client population while an operator
+// grows and shrinks the configuration through Host.ReconfigureAll — the
+// kvctl-reconf deployment story, asserted end to end. The full Spec
+// (SpecReplicas processes) stays up throughout; membership moves
+// between Base and Grown.
+type ChurnConfig struct {
+	// SpecReplicas is the number of running replica processes (default
+	// 5). Base and Grown must be subsets of 0..SpecReplicas-1.
+	SpecReplicas int
+	// Groups is the number of replication groups per node (default 2).
+	Groups int
+	// Base is the steady-state configuration (default {0,1,2}); clients
+	// propose only at Base replicas, which stay configured throughout.
+	Base []types.ReplicaID
+	// Grown is the mid-run configuration (default the full Spec).
+	Grown []types.ReplicaID
+	// Clients is the closed-loop client count (default 6; at least
+	// Groups so every group sees load).
+	Clients int
+	// Cycles is how many grow+shrink rounds run under load (default 1).
+	Cycles int
+	// Settle is how long load runs between reconfigurations (default
+	// 150 ms).
+	Settle time.Duration
+	// StepTimeout bounds each reconfiguration and each proposal wait
+	// (default 20 s).
+	StepTimeout time.Duration
+	// PayloadSize is the command payload size (default 32 B).
+	PayloadSize int
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.SpecReplicas == 0 {
+		c.SpecReplicas = 5
+	}
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if len(c.Base) == 0 {
+		c.Base = []types.ReplicaID{0, 1, 2}
+	}
+	if len(c.Grown) == 0 {
+		for i := 0; i < c.SpecReplicas; i++ {
+			c.Grown = append(c.Grown, types.ReplicaID(i))
+		}
+	}
+	if c.Clients == 0 {
+		c.Clients = 6
+	}
+	if c.Clients < c.Groups {
+		c.Clients = c.Groups
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 1
+	}
+	if c.Settle == 0 {
+		c.Settle = 150 * time.Millisecond
+	}
+	if c.StepTimeout == 0 {
+		c.StepTimeout = 20 * time.Second
+	}
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 32
+	}
+	return c
+}
+
+// canonicalIDs returns a sorted copy of a member list.
+func canonicalIDs(ids []types.ReplicaID) []types.ReplicaID {
+	out := append([]types.ReplicaID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChurnResult reports one membership-churn run that passed all
+// correctness assertions.
+type ChurnResult struct {
+	// Committed is the number of client commands whose futures resolved
+	// with a result — each executed exactly once.
+	Committed uint64
+	// Resubmitted counts proposals retried after ErrReconfigured: the
+	// commands a reconfiguration provably discarded.
+	Resubmitted uint64
+	// Reconfigurations is the number of ReconfigureAll calls driven
+	// (1 initial shrink + 2 per cycle).
+	Reconfigurations int
+	// FinalEpoch and FinalMembers describe the configuration every group
+	// on every Base replica converged to.
+	FinalEpoch   types.Epoch
+	FinalMembers []types.ReplicaID
+}
+
+// RunMembershipChurn stands up a SpecReplicas×Groups cluster, shrinks
+// it to Base, then — under closed-loop load at the Base replicas —
+// grows it to Grown and back Cycles times via Host.ReconfigureAll. It
+// verifies the operator-API contract end to end:
+//
+//   - zero lost commands: every proposal eventually commits; proposals
+//     a reconfiguration discards fail with node.ErrReconfigured and are
+//     resubmitted by the client;
+//   - zero duplicated commands: no command ID executes twice in its
+//     group, and the executed set equals the committed set exactly;
+//   - agreement: every Base replica executes every group's commands in
+//     the same order;
+//   - atomicity: after the final shrink, every group on every Base
+//     replica holds the same configuration and epoch, and a removed
+//     replica fails proposals with node.ErrNotInConfig.
+func RunMembershipChurn(cfg ChurnConfig) (*ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	nrep, groups := cfg.SpecReplicas, cfg.Groups
+	hub := transport.NewHub(nrep, transport.HubOptions{Codec: true, Groups: groups})
+	defer hub.Close()
+	router := shard.NewRouter(groups)
+
+	spec := make([]types.ReplicaID, nrep)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+
+	var mu sync.Mutex
+	orders := make([][][]types.CommandID, nrep) // [replica][group]
+	okIDs := make([]map[types.CommandID]bool, groups)
+	for g := range okIDs {
+		okIDs[g] = make(map[types.CommandID]bool)
+	}
+
+	hosts := make([]*node.Host, nrep)
+	for i := 0; i < nrep; i++ {
+		i := i
+		orders[i] = make([][]types.CommandID, groups)
+		host, err := node.NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.HostOptions{
+			Groups: groups,
+			NewLog: func(types.GroupID) storage.Log { return storage.NewMemLog() },
+		})
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < groups; g++ {
+			g := g
+			app := &rsm.App{
+				SM: kvstore.New(),
+				OnCommit: func(ts types.Timestamp, cmd types.Command) {
+					mu.Lock()
+					orders[i][g] = append(orders[i][g], cmd.ID)
+					mu.Unlock()
+				},
+			}
+			nd := host.Group(types.GroupID(g))
+			nd.Bind(app)
+			nd.SetProtocol(core.New(nd, app, core.Options{ClockTimeInterval: 2 * time.Millisecond}))
+		}
+		hosts[i] = host
+	}
+	for _, host := range hosts {
+		if err := host.Start(); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, host := range hosts {
+			host.Stop()
+		}
+	}()
+
+	reconf := func(members []types.ReplicaID) error {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+		defer cancel()
+		return hosts[cfg.Base[0]].ReconfigureAll(ctx, members)
+	}
+
+	// Shrink the freshly started full-Spec cluster down to Base before
+	// load starts: the "live 3-replica cluster" the churn then grows.
+	res := &ChurnResult{}
+	if err := reconf(cfg.Base); err != nil {
+		return nil, fmt.Errorf("initial shrink to %v: %w", cfg.Base, err)
+	}
+	res.Reconfigurations++
+
+	// Closed-loop clients at the Base replicas. Every proposal is
+	// retried until it commits; ErrReconfigured (the command provably
+	// never executed) is the only tolerated failure.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var resubmitted atomic.Uint64
+	clientErrs := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key, g := clientKey(router, c)
+			target := hosts[cfg.Base[c%len(cfg.Base)]].Group(g)
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload := kvstore.Put(key, append([]byte(fmt.Sprintf("c%d-%d-", c, seq)), make([]byte, cfg.PayloadSize)...))
+				for {
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+					fut, err := target.Propose(ctx, payload)
+					if err == nil {
+						var r types.Result
+						r, err = fut.Wait(ctx)
+						if err == nil {
+							mu.Lock()
+							okIDs[g][r.ID] = true
+							mu.Unlock()
+							cancel()
+							break
+						}
+					}
+					cancel()
+					if errors.Is(err, node.ErrReconfigured) {
+						resubmitted.Add(1)
+						continue // provably never executed: safe to resubmit
+					}
+					clientErrs[c] = fmt.Errorf("client %d seq %d: %w", c, seq, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// The churn itself: grow to Grown and shrink back to Base, under
+	// load, Cycles times.
+	churnErr := func() error {
+		time.Sleep(cfg.Settle)
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			if err := reconf(cfg.Grown); err != nil {
+				return fmt.Errorf("cycle %d grow to %v: %w", cycle, cfg.Grown, err)
+			}
+			res.Reconfigurations++
+			time.Sleep(cfg.Settle)
+			if err := reconf(cfg.Base); err != nil {
+				return fmt.Errorf("cycle %d shrink to %v: %w", cycle, cfg.Base, err)
+			}
+			res.Reconfigurations++
+			time.Sleep(cfg.Settle)
+		}
+		return nil
+	}()
+	close(stop)
+	wg.Wait()
+	if churnErr != nil {
+		return nil, churnErr
+	}
+	for _, err := range clientErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	mu.Lock()
+	for g := range okIDs {
+		res.Committed += uint64(len(okIDs[g]))
+	}
+	mu.Unlock()
+	res.Resubmitted = resubmitted.Load()
+
+	// Trailing commits land on every Base replica before verification.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := true
+		for g := 0; g < groups; g++ {
+			for _, rep := range cfg.Base {
+				if len(orders[rep][g]) != len(okIDs[g]) {
+					done = false
+				}
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			var detail strings.Builder
+			mu.Lock()
+			for g := 0; g < groups; g++ {
+				fmt.Fprintf(&detail, " g%d ok=%d exec=[", g, len(okIDs[g]))
+				for _, rep := range cfg.Base {
+					fmt.Fprintf(&detail, " r%d:%d", rep, len(orders[rep][g]))
+				}
+				detail.WriteString(" ]")
+			}
+			mu.Unlock()
+			for _, rep := range cfg.Base {
+				for _, g := range hosts[rep].Status().Groups {
+					fmt.Fprintf(&detail, " r%d/%s:e%d:in=%t:inflight=%d", rep, g.Group, g.Epoch, g.InConfig, g.InFlight)
+				}
+			}
+			return nil, fmt.Errorf("churn: executions never converged to the committed set (lost or phantom commands):%s", detail.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Verification: agreement, exactly-once, and the committed set. The
+	// lock is scoped: trailing event loops (removed replicas catching up
+	// via state transfer) still need OnCommit's mutex to make progress
+	// before the probe below.
+	verify := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		for g := 0; g < groups; g++ {
+			ref := orders[cfg.Base[0]][g]
+			for _, rep := range cfg.Base[1:] {
+				ord := orders[rep][g]
+				if len(ord) != len(ref) {
+					return fmt.Errorf("group %d: replica %v executed %d commands, replica %v executed %d",
+						g, rep, len(ord), cfg.Base[0], len(ref))
+				}
+				for j := range ord {
+					if ord[j] != ref[j] {
+						return fmt.Errorf("group %d: execution order diverges at %d", g, j)
+					}
+				}
+			}
+			seen := make(map[types.CommandID]bool, len(ref))
+			for _, cid := range ref {
+				if seen[cid] {
+					return fmt.Errorf("group %d: command %v executed twice (duplicated command)", g, cid)
+				}
+				seen[cid] = true
+				if !okIDs[g][cid] {
+					return fmt.Errorf("group %d: executed command %v was never reported committed", g, cid)
+				}
+			}
+			for cid := range okIDs[g] {
+				if !seen[cid] {
+					return fmt.Errorf("group %d: committed command %v never executed (lost command)", g, cid)
+				}
+			}
+		}
+		return nil
+	}
+	if err := verify(); err != nil {
+		return nil, err
+	}
+
+	// Atomicity: every group on every Base replica landed on the same
+	// final configuration and epoch, and that configuration is Base.
+	// Epochs are compared across groups and replicas rather than against
+	// the ReconfigureAll count: no-op reconfigurations consume no epoch
+	// and conflict retries (e.g. a concurrent failure-detector epoch)
+	// consume extra ones.
+	wantEpoch := hosts[cfg.Base[0]].Status().Groups[0].Epoch
+	wantMembers := node.MemberString(canonicalIDs(cfg.Base))
+	for _, rep := range cfg.Base {
+		for _, g := range hosts[rep].Status().Groups {
+			if g.Epoch != wantEpoch || node.MemberString(g.Members) != wantMembers || !g.InConfig {
+				return nil, fmt.Errorf("replica %v group %v: epoch=%d members=%s in=%t, want epoch=%d members=%s in=true",
+					rep, g.Group, g.Epoch, node.MemberString(g.Members), g.InConfig, wantEpoch, wantMembers)
+			}
+		}
+	}
+	res.FinalEpoch = wantEpoch
+	res.FinalMembers = append([]types.ReplicaID(nil), hosts[cfg.Base[0]].Status().Groups[0].Members...)
+
+	// A replica outside the final configuration refuses proposals with
+	// the typed error instead of parking them.
+	var removed types.ReplicaID = -1
+	inBase := make(map[types.ReplicaID]bool)
+	for _, id := range cfg.Base {
+		inBase[id] = true
+	}
+	for _, id := range cfg.Grown {
+		if !inBase[id] {
+			removed = id
+			break
+		}
+	}
+	if removed >= 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+		defer cancel()
+		fut, err := hosts[removed].Group(0).Propose(ctx, kvstore.Put("probe", []byte("x")))
+		if err == nil {
+			_, err = fut.Wait(ctx)
+		}
+		if !errors.Is(err, node.ErrNotInConfig) {
+			return nil, fmt.Errorf("proposal at removed replica %v: err = %v, want node.ErrNotInConfig", removed, err)
+		}
+	}
+
+	// The future-epoch hold buffer never overflowed: a dropped held
+	// message could reopen a straggler history gap silently.
+	for _, host := range hosts {
+		for g := 0; g < groups; g++ {
+			nd := host.Group(types.GroupID(g))
+			var heldDropped uint64
+			nd.Do(func() { heldDropped = nd.Protocol().(*core.Replica).HeldDropped() })
+			if heldDropped > 0 {
+				return nil, fmt.Errorf("replica %v group %d dropped %d held future-epoch messages", host.ID(), g, heldDropped)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,53 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/types"
+)
+
+// TestMembershipChurn is the acceptance scenario for the operator API:
+// a 5-process, 2-group cluster configured down to {0,1,2} serves a
+// closed-loop client population while the operator grows it to all five
+// replicas and shrinks it back. RunMembershipChurn itself asserts zero
+// lost and zero duplicated commands, cross-replica agreement, and that
+// every group lands on the same final configuration and epoch.
+func TestMembershipChurn(t *testing.T) {
+	res, err := RunMembershipChurn(ChurnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no commands committed during the churn run")
+	}
+	if res.Reconfigurations != 3 { // initial shrink + grow + shrink
+		t.Errorf("reconfigurations = %d, want 3", res.Reconfigurations)
+	}
+	if res.FinalEpoch != 3 || types.ReplicaID(len(res.FinalMembers)) != 3 {
+		t.Errorf("final epoch=%d members=%v, want epoch 3 with 3 members", res.FinalEpoch, res.FinalMembers)
+	}
+	t.Logf("churn: %d committed, %d resubmitted after ErrReconfigured, final epoch %d members %v",
+		res.Committed, res.Resubmitted, res.FinalEpoch, res.FinalMembers)
+}
+
+// TestMembershipChurnMultiCycle runs two grow/shrink cycles with a
+// larger client population — more chances for in-flight commands to be
+// caught by a suspension and resubmitted.
+func TestMembershipChurnMultiCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cycle churn run")
+	}
+	res, err := RunMembershipChurn(ChurnConfig{
+		Clients: 12,
+		Cycles:  2,
+		Settle:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalEpoch != 5 { // 1 + 2*2
+		t.Errorf("final epoch = %d, want 5", res.FinalEpoch)
+	}
+	t.Logf("churn x2: %d committed, %d resubmitted", res.Committed, res.Resubmitted)
+}

@@ -176,13 +176,44 @@ func (h *mgHarness) callCanceled(at types.ReplicaID, key string, payload []byte)
 // never twice).
 func (h *mgHarness) verify(successes, attempts int) {
 	h.t.Helper()
+	h.verifySkip(successes, attempts, nil)
+}
+
+// verifySkip is verify with per-(replica, group) exclusions: a replica
+// reconfigured out of a group's member set stops receiving that group's
+// commands, so its frozen history is checked as a prefix of the
+// reference rather than for equality.
+func (h *mgHarness) verifySkip(successes, attempts int, skip func(rep int, g types.GroupID) bool) {
+	h.t.Helper()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	executed := 0
 	for g := 0; g < h.groups; g++ {
 		ref := h.orders[0][g]
-		for i := 1; i < len(h.orders); i++ {
+		if skip != nil && skip(0, types.GroupID(g)) {
+			// Pick an in-config replica as the reference.
+			for i := 1; i < len(h.orders); i++ {
+				if !skip(i, types.GroupID(g)) {
+					ref = h.orders[i][g]
+					break
+				}
+			}
+		}
+		for i := 0; i < len(h.orders); i++ {
 			ord := h.orders[i][g]
+			if skip != nil && skip(i, types.GroupID(g)) {
+				// Frozen history: must still be a prefix of the reference
+				// (agreement up to the removal point).
+				if len(ord) > len(ref) {
+					h.t.Fatalf("group %d: removed replica %d executed %d commands, more than the reference %d", g, i, len(ord), len(ref))
+				}
+				for j := range ord {
+					if ord[j] != ref[j] {
+						h.t.Fatalf("group %d: removed replica %d diverges at %d", g, i, j)
+					}
+				}
+				continue
+			}
 			if len(ord) != len(ref) {
 				h.t.Fatalf("group %d: replica %d executed %d commands, replica 0 executed %d", g, i, len(ord), len(ref))
 			}
@@ -255,13 +286,25 @@ func (h *mgHarness) verify(successes, attempts int) {
 // waitConverged blocks until every replica executed the same number of
 // commands per group (trailing commits landing), or the deadline.
 func (h *mgHarness) waitConverged(d time.Duration) {
+	h.waitConvergedSkip(d, nil)
+}
+
+// waitConvergedSkip is waitConverged minus (replica, group) pairs
+// reconfigured out of their group.
+func (h *mgHarness) waitConvergedSkip(d time.Duration, skip func(rep int, g types.GroupID) bool) {
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
 		h.mu.Lock()
 		done := true
 		for g := 0; g < h.groups; g++ {
-			for i := 1; i < len(h.orders); i++ {
-				if len(h.orders[i][g]) != len(h.orders[0][g]) {
+			want := -1
+			for i := 0; i < len(h.orders); i++ {
+				if skip != nil && skip(i, types.GroupID(g)) {
+					continue
+				}
+				if want < 0 {
+					want = len(h.orders[i][g])
+				} else if len(h.orders[i][g]) != want {
 					done = false
 				}
 			}
@@ -271,6 +314,21 @@ func (h *mgHarness) waitConverged(d time.Duration) {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// reconfigure drives one group at one host to a new member set through
+// the operator API and waits for the future.
+func (h *mgHarness) reconfigure(at types.ReplicaID, g types.GroupID, members []types.ReplicaID) {
+	h.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	fut, err := h.hosts[at].Group(g).Reconfigure(ctx, members)
+	if err != nil {
+		h.t.Fatalf("Reconfigure group %v to %v: %v", g, members, err)
+	}
+	if _, err := fut.Wait(ctx); err != nil {
+		h.t.Fatalf("reconfigure future for group %v: %v", g, err)
 	}
 }
 
@@ -343,4 +401,83 @@ func TestMultiGroupLinearizability(t *testing.T) {
 	t.Logf("%d proposals: %d awaited, %d canceled (%d of those still committed)",
 		attempts, successes, nCanceled, raced)
 	h.verify(int(successes), int(attempts))
+}
+
+// TestMultiGroupDivergentReconfiguration reconfigures two groups on the
+// same hosts to different member sets (and therefore independent
+// epochs): group 0 drops replica 3, group 1 drops replica 2. A
+// contended workload then runs through replicas 0 and 1 — members of
+// both groups — and per-key linearizability must hold per group, with
+// each group's removed replica holding a consistent frozen prefix.
+func TestMultiGroupDivergentReconfiguration(t *testing.T) {
+	const (
+		replicas = 4
+		groups   = 2
+		clients  = 4
+		perCli   = 20
+		keys     = 6
+	)
+	h := newMGHarness(t, replicas, groups)
+	h.reconfigure(0, 0, []types.ReplicaID{0, 1, 2})
+	h.reconfigure(0, 1, []types.ReplicaID{0, 1, 3})
+
+	// The groups' control planes really diverged.
+	for g, want := range map[types.GroupID]string{0: "r0,r1,r2", 1: "r0,r1,r3"} {
+		nd := h.hosts[0].Group(g)
+		if got := nd.Epoch(); got != 1 {
+			t.Errorf("group %v epoch = %d, want 1", g, got)
+		}
+		if got := node.MemberString(nd.Members()); got != want {
+			t.Errorf("group %v members = %q, want %q", g, got, want)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var successes, attempts int64
+	var cm sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*131 + 7))
+			for k := 0; k < perCli; k++ {
+				at := types.ReplicaID(rng.Intn(2)) // replicas 0,1 are in both groups
+				key := fmt.Sprintf("dk%d", rng.Intn(keys))
+				var payload []byte
+				switch rng.Intn(3) {
+				case 0:
+					payload = kvstore.Put(key, []byte(fmt.Sprintf("dv-%d-%d", c, k)))
+				case 1:
+					payload = kvstore.Get(key)
+				default:
+					payload = kvstore.Delete(key)
+				}
+				h.call(at, key, payload)
+				cm.Lock()
+				successes++
+				attempts++
+				cm.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	skip := func(rep int, g types.GroupID) bool {
+		return (g == 0 && rep == 3) || (g == 1 && rep == 2)
+	}
+	h.waitConvergedSkip(10*time.Second, skip)
+	if t.Failed() {
+		t.FailNow()
+	}
+	h.verifySkip(int(successes), int(attempts), skip)
+
+	// Divergence persisted through the workload: per-group epochs and
+	// configs on the serving replicas are still the reconfigured ones.
+	for _, rep := range []types.ReplicaID{0, 1} {
+		if got := node.MemberString(h.hosts[rep].Group(0).Members()); got != "r0,r1,r2" {
+			t.Errorf("replica %v group 0 members = %q", rep, got)
+		}
+		if got := node.MemberString(h.hosts[rep].Group(1).Members()); got != "r0,r1,r3" {
+			t.Errorf("replica %v group 1 members = %q", rep, got)
+		}
+	}
 }
