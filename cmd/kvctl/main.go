@@ -7,6 +7,14 @@
 //	kvctl -addr 127.0.0.1:7200 get greeting
 //	kvctl -addr 127.0.0.1:7200 del greeting
 //
+// Reads take a consistency level (default: the replicated read, which
+// commits through the log like a write):
+//
+//	kvctl -addr 127.0.0.1:7200 get -level=lin greeting     # GETL: local linearizable
+//	kvctl -addr 127.0.0.1:7200 get -level=seq greeting     # GETS: session-monotonic
+//	kvctl -addr 127.0.0.1:7200 get -level=stale greeting   # GETA: immediate
+//	kvctl -addr 127.0.0.1:7200 get -level=stale -maxage=100ms greeting
+//
 // Operations:
 //
 //	kvctl -addr 127.0.0.1:7200 members        # per-group member sets
@@ -53,11 +61,45 @@ func buildLine(args []string) (string, error) {
 			return "", fmt.Errorf("usage: kvctl put <key> <value>")
 		}
 		return "PUT " + args[1] + " " + strings.Join(args[2:], " "), nil
-	case "get", "del":
-		if len(args) != 2 {
-			return "", fmt.Errorf("usage: kvctl %s <key>", strings.ToLower(args[0]))
+	case "get":
+		level, maxAge := "", ""
+		var keys []string
+		for _, a := range args[1:] {
+			switch {
+			case strings.HasPrefix(a, "-level="):
+				level = strings.TrimPrefix(a, "-level=")
+			case strings.HasPrefix(a, "-maxage="):
+				maxAge = strings.TrimPrefix(a, "-maxage=")
+			default:
+				keys = append(keys, a)
+			}
 		}
-		return strings.ToUpper(args[0]) + " " + args[1], nil
+		if len(keys) != 1 {
+			return "", fmt.Errorf("usage: kvctl get [-level=lin|seq|stale] [-maxage=<dur>] <key>")
+		}
+		if maxAge != "" && level != "stale" {
+			return "", fmt.Errorf("-maxage applies only to -level=stale (the other levels have no staleness bound)")
+		}
+		switch level {
+		case "":
+			return "GET " + keys[0], nil
+		case "lin":
+			return "GETL " + keys[0], nil
+		case "seq":
+			return "GETS " + keys[0], nil
+		case "stale":
+			if maxAge != "" {
+				return "GETA " + keys[0] + " " + maxAge, nil
+			}
+			return "GETA " + keys[0], nil
+		default:
+			return "", fmt.Errorf("unknown read level %q (want lin, seq or stale)", level)
+		}
+	case "del":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: kvctl del <key>")
+		}
+		return "DEL " + args[1], nil
 	case "members", "epoch", "status":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: kvctl %s", strings.ToLower(args[0]))

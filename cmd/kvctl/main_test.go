@@ -12,7 +12,18 @@ func TestBuildLine(t *testing.T) {
 		{[]string{"PUT", "k", "two words"}, "PUT k two words", false},
 		{[]string{"put", "k", "two", "words"}, "PUT k two words", false},
 		{[]string{"get", "k"}, "GET k", false},
+		{[]string{"get", "-level=lin", "k"}, "GETL k", false},
+		{[]string{"get", "-level=seq", "k"}, "GETS k", false},
+		{[]string{"get", "-level=stale", "k"}, "GETA k", false},
+		{[]string{"get", "-level=stale", "-maxage=100ms", "k"}, "GETA k 100ms", false},
+		{[]string{"get", "k", "-level=lin"}, "GETL k", false},
+		{[]string{"get", "-level=bogus", "k"}, "", true},
+		{[]string{"get", "-level=lin", "-maxage=100ms", "k"}, "", true},
+		{[]string{"get", "-maxage=100ms", "k"}, "", true},
+		{[]string{"get", "-level=lin", "k", "extra"}, "", true},
+		{[]string{"get", "-level=lin"}, "", true},
 		{[]string{"del", "k"}, "DEL k", false},
+		{[]string{"del", "k", "x"}, "", true},
 		{[]string{"members"}, "MEMBERS", false},
 		{[]string{"epoch"}, "EPOCH", false},
 		{[]string{"status"}, "STATUS", false},

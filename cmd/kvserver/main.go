@@ -11,6 +11,21 @@
 // per line, with the wait bounded by -client-timeout and canceled the
 // moment the client connection closes.
 //
+// Reads additionally come in consistency-tiered verbs served from the
+// replica's stable prefix — no replication traffic (node.Host.Read):
+//
+//	GETL <key>             linearizable: waits until the executed
+//	                       watermark covers the read's capture time
+//	GETS <key>             sequential: immediate, monotonic within the
+//	                       connection (a per-connection session token)
+//	GETA <key> [maxage]    stale: immediate, served if the watermark is
+//	                       at most maxage old (a Go duration; omitted
+//	                       or 0 serves unconditionally)
+//
+// Plain GET keeps replicating the read through the log — the strongest
+// (and slowest) read, and the baseline the read path is measured
+// against.
+//
 // The same port serves the operator API (see admin.go and kvctl):
 //
 //	MEMBERS              per-group configuration member sets
@@ -209,6 +224,10 @@ func (s *server) serve(conn net.Conn) {
 	defer conn.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// The connection's read session: GETS reads through it are monotonic
+	// across every replica this client might talk to via proxies; here it
+	// scopes monotonicity to the connection.
+	var sess node.Session
 	// A dedicated reader detects connection close (EOF or error) even
 	// while a command is in flight; canceling ctx then releases the
 	// Wait below.
@@ -236,6 +255,12 @@ func (s *server) serve(conn net.Conn) {
 		if resp, ok := s.admin(ctx, line); ok {
 			fmt.Fprintln(w, resp)
 			w.Flush()
+			continue
+		}
+		// Consistency-tiered reads (GETL/GETS/GETA) serve from the local
+		// stable prefix, off the replication path too.
+		if query, lvl, isRead, err := parseRead(line, &sess); isRead {
+			s.serveRead(ctx, w, query, lvl, err)
 			continue
 		}
 		payload, err := parse(line)
@@ -274,6 +299,77 @@ func (s *server) serve(conn net.Conn) {
 		done()
 		w.Flush()
 	}
+}
+
+// serveRead answers one tiered read line. The wait (a Linearizable or
+// session-catch-up park) is bounded by -client-timeout; ErrTooStale and
+// ErrNotInConfig map to client-visible errors so the client can retry
+// at another replica or a stronger level.
+func (s *server) serveRead(ctx context.Context, w *bufio.Writer, query []byte, lvl node.Level, perr error) {
+	defer w.Flush()
+	if perr != nil {
+		fmt.Fprintf(w, "ERR %v\n", perr)
+		return
+	}
+	cmdCtx, done := ctx, func() {}
+	if s.timeout > 0 {
+		cmdCtx, done = context.WithTimeout(ctx, s.timeout)
+	}
+	defer done()
+	res, err := s.host.Read(cmdCtx, query, lvl)
+	switch {
+	case err == nil:
+		if res.Value == nil {
+			fmt.Fprintln(w, "OK (nil)")
+		} else {
+			fmt.Fprintf(w, "OK %s\n", res.Value)
+		}
+	case errors.Is(err, node.ErrTooStale):
+		fmt.Fprintln(w, "ERR too stale")
+	case errors.Is(err, node.ErrNotInConfig):
+		fmt.Fprintln(w, "ERR not in configuration (read elsewhere)")
+	case errors.Is(cmdCtx.Err(), context.DeadlineExceeded):
+		fmt.Fprintln(w, "ERR timeout")
+	case errors.Is(err, node.ErrStopped):
+		fmt.Fprintln(w, "ERR stopped")
+	default:
+		fmt.Fprintf(w, "ERR %v\n", err)
+	}
+}
+
+// parseRead recognizes the consistency-tiered read verbs. It reports
+// whether the line was a read line; the error covers malformed read
+// lines only (other verbs fall through to parse).
+func parseRead(line string, sess *node.Session) (query []byte, lvl node.Level, isRead bool, err error) {
+	parts := strings.Fields(line)
+	if len(parts) == 0 {
+		return nil, lvl, false, nil
+	}
+	switch strings.ToUpper(parts[0]) {
+	case "GETL":
+		if len(parts) != 2 {
+			return nil, lvl, true, fmt.Errorf("usage: GETL <key>")
+		}
+		return kvstore.Get(parts[1]), node.Linearizable, true, nil
+	case "GETS":
+		if len(parts) != 2 {
+			return nil, lvl, true, fmt.Errorf("usage: GETS <key>")
+		}
+		return kvstore.Get(parts[1]), node.Sequential(sess), true, nil
+	case "GETA":
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, lvl, true, fmt.Errorf("usage: GETA <key> [maxage]")
+		}
+		var maxAge time.Duration
+		if len(parts) == 3 {
+			maxAge, err = time.ParseDuration(parts[2])
+			if err != nil {
+				return nil, lvl, true, fmt.Errorf("bad maxage %q: %v", parts[2], err)
+			}
+		}
+		return kvstore.Get(parts[1]), node.Stale(maxAge), true, nil
+	}
+	return nil, lvl, false, nil
 }
 
 // parse converts a client line into a state-machine payload.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
 )
 
 func TestParse(t *testing.T) {
@@ -36,6 +37,51 @@ func TestParse(t *testing.T) {
 		}
 		if err == nil && string(got) != string(tt.want) {
 			t.Errorf("parse(%q) = %v, want %v", tt.line, got, tt.want)
+		}
+	}
+}
+
+func TestParseRead(t *testing.T) {
+	var sess node.Session
+	tests := []struct {
+		line    string
+		isRead  bool
+		wantErr bool
+		tier    node.Tier
+	}{
+		{"GETL k", true, false, node.TierLinearizable},
+		{"getl k", true, false, node.TierLinearizable},
+		{"GETS k", true, false, node.TierSequential},
+		{"GETA k", true, false, node.TierStale},
+		{"GETA k 250ms", true, false, node.TierStale},
+		{"GETA k bogus", true, true, 0},
+		{"GETL", true, true, 0},
+		{"GETS a b", true, true, 0},
+		{"GET k", false, false, 0},
+		{"PUT k v", false, false, 0},
+		{"", false, false, 0},
+	}
+	for _, tt := range tests {
+		query, lvl, isRead, err := parseRead(tt.line, &sess)
+		if isRead != tt.isRead {
+			t.Errorf("parseRead(%q) isRead = %v, want %v", tt.line, isRead, tt.isRead)
+			continue
+		}
+		if !isRead {
+			continue
+		}
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseRead(%q) error = %v, wantErr %v", tt.line, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if lvl.Tier() != tt.tier {
+			t.Errorf("parseRead(%q) tier = %v, want %v", tt.line, lvl.Tier(), tt.tier)
+		}
+		if string(query) != string(kvstore.Get("k")) {
+			t.Errorf("parseRead(%q) query = %v", tt.line, query)
 		}
 	}
 }
@@ -124,8 +170,33 @@ func testKVServerEndToEnd(t *testing.T, groups int) {
 	if resp := send(c1, r1, "GET city"); resp != "OK Lausanne" {
 		t.Fatalf("GET via r1 reply = %q", resp)
 	}
+	// Consistency-tiered reads, served from the stable prefix: the
+	// write completed, so every level observes it at every replica.
+	if resp := send(c1, r1, "GETL city"); resp != "OK Lausanne" {
+		t.Fatalf("GETL reply = %q", resp)
+	}
+	if resp := send(c1, r1, "GETS city"); resp != "OK Lausanne" {
+		t.Fatalf("GETS reply = %q", resp)
+	}
+	if resp := send(c1, r1, "GETA city 1h"); resp != "OK Lausanne" {
+		t.Fatalf("GETA reply = %q", resp)
+	}
+	if resp := send(c1, r1, "GETA city"); resp != "OK Lausanne" {
+		t.Fatalf("unbounded GETA reply = %q", resp)
+	}
+	if resp := send(c1, r1, "GETA city nonsense"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("malformed GETA reply = %q", resp)
+	}
+	if resp := send(c1, r1, "GETL"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("keyless GETL reply = %q", resp)
+	}
 	if resp := send(c1, r1, "DEL city"); resp != "OK Lausanne" {
 		t.Fatalf("DEL reply = %q", resp)
+	}
+	// A linearizable local read observes the delete that just completed
+	// on this very connection.
+	if resp := send(c1, r1, "GETL city"); resp != "OK (nil)" {
+		t.Fatalf("GETL after DEL reply = %q", resp)
 	}
 	if resp := send(c0, r0, "BOGUS x"); !strings.HasPrefix(resp, "ERR") {
 		t.Fatalf("bogus command reply = %q", resp)

@@ -111,6 +111,31 @@
 //     runner.RunMembershipChurn asserts the whole story end to end
 //     (3→5→3 under load, zero lost or duplicated commands).
 //
+// # Read path
+//
+// Reads do not replicate. Clock-RSM commits strictly in timestamp
+// order, so each replica derives an executed watermark — the highest
+// timestamp below which everything has executed locally and nothing
+// can commit anymore (rsm.StateReader, implemented by core.Replica
+// from LatestTV, the pending head and the local clock; the same
+// stability rule that commits writes). node.Node.Read(ctx, query,
+// level) serves read-only queries from local state against it
+// (rsm.StateQuerier, bypassing Apply and OnReply) at three levels:
+// node.Linearizable captures the local clock and parks on a
+// timestamp-ordered waiter queue until the watermark covers it —
+// correct with no clock-skew bound, because a write only completes
+// once every configured clock passed its timestamp; node.Sequential
+// serves the current watermark immediately, monotonic across replicas
+// through a node.Session token; node.Stale serves from the caller's
+// goroutine against a lock-free watermark cache, bounded by a maximum
+// age (ErrTooStale beyond it). Host.Read/ReadKey route reads through
+// the shard router to the key's group, kvserver exposes GETL/GETS/GETA
+// next to the replicated GET, and protocols without a watermark
+// (paxos, mencius) fall back to replicating reads as commands. Reads
+// at a removed replica fail with ErrNotInConfig, the same sweep
+// contract as write futures. BenchmarkReadPath* measures the tiers
+// against the replicated baseline (runner.ReadScaling, BENCH_5.json).
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results. The root-level
 // benchmarks (bench_test.go) regenerate each evaluation artifact:

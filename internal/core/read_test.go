@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/sim"
+	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
+)
+
+// TestStableTSWaitsForInFlightPrepares pins the watermark's core safety
+// property: a command's timestamp is not covered while its PREPARE is
+// still in flight, and is covered once it committed everywhere.
+func TestStableTSWaitsForInFlightPrepares(t *testing.T) {
+	h := newHarness(t, wan.Uniform(3, ms(10)), Options{}, sim.ClusterOptions{})
+	cid := h.submitAt(0, ms(100))
+	// Halfway through the PREPARE's flight: replica 0 has the command
+	// pending with no acknowledgements, replicas 1-2 have not heard a
+	// thing. No watermark may cover the command's timestamp yet.
+	h.c.Eng.RunUntil(ms(105))
+	tsWall := int64(ms(100)) // virtual submit time = timestamp wall
+	for i, rep := range h.reps {
+		if w := rep.StableTS(); w >= tsWall {
+			t.Fatalf("replica %d: watermark %d covers in-flight command at %d", i, w, tsWall)
+		}
+	}
+	h.c.Eng.RunUntilIdle()
+	h.checkTotalOrder(1, nil)
+	// Committed everywhere: every PREPAREOK carried a clock reading past
+	// the command's timestamp, so every watermark now covers it.
+	for i, rep := range h.reps {
+		if w := rep.StableTS(); w < tsWall {
+			t.Fatalf("replica %d: watermark %d below committed command at %d", i, w, tsWall)
+		}
+	}
+	_ = cid
+}
+
+// TestStableTSAdvancesWhenIdle checks that the CLOCKTIME broadcast
+// (Algorithm 2) keeps the watermark moving without write traffic — the
+// mechanism that bounds a linearizable read's stall in an idle system
+// by O(Δ + one-way delay).
+func TestStableTSAdvancesWhenIdle(t *testing.T) {
+	h := newHarness(t, wan.Uniform(3, ms(10)), Options{ClockTimeInterval: ms(5)}, sim.ClusterOptions{})
+	h.submitAt(0, 0)
+	h.c.Eng.RunUntil(time.Second)
+	for i, rep := range h.reps {
+		if w := rep.StableTS(); w < int64(ms(900)) {
+			t.Fatalf("replica %d: watermark %d did not track the idle clock (want ≥ %d)", i, w, int64(ms(900)))
+		}
+	}
+}
+
+// TestWatermarkNeverOvertaken is the read-safety invariant under skewed
+// clocks, jitter and concurrent load: once a replica's listener
+// observed watermark W, no command with timestamp ≤ W may execute at
+// that replica afterwards — otherwise a read served at W would have
+// missed a write it promised to cover. It also pins monotonicity (no
+// reconfigurations here, so the watermark must never regress).
+func TestWatermarkNeverOvertaken(t *testing.T) {
+	const n = 5
+	h := newHarness(t, wan.Uniform(n, ms(10)), Options{ClockTimeInterval: ms(5)}, sim.ClusterOptions{
+		Skews:  []time.Duration{0, 2 * time.Millisecond, -2 * time.Millisecond, time.Millisecond, -time.Millisecond},
+		Jitter: 3 * time.Millisecond,
+		Seed:   42,
+	})
+	watermarks := make([]int64, n)
+	for i, rep := range h.reps {
+		i, rep := i, rep
+		rep.SetStableListener(func() {
+			w := rep.StableTS()
+			if w < watermarks[i] {
+				t.Fatalf("replica %d: watermark regressed %d -> %d", i, watermarks[i], w)
+			}
+			watermarks[i] = w
+		})
+		// The apps were built by newHarness; chain the execution check
+		// off the recorded order via OnCommit below.
+	}
+	// Execution must stay above the watermark: hook each replica's app.
+	for i := range h.reps {
+		i := i
+		app := h.apps[i]
+		prev := app.OnCommit
+		app.OnCommit = func(ts types.Timestamp, cmd types.Command) {
+			if ts.Wall <= watermarks[i] {
+				t.Fatalf("replica %d: command %v executed at ts %d ≤ watermark %d", i, cmd.ID, ts.Wall, watermarks[i])
+			}
+			if prev != nil {
+				prev(ts, cmd)
+			}
+		}
+	}
+	// Staggered cross-replica load: 40 commands over 200ms from every
+	// replica, timestamps interleaving across skewed clocks.
+	total := 0
+	for k := 0; k < 40; k++ {
+		h.submitAt(types.ReplicaID(k%n), time.Duration(k)*5*time.Millisecond)
+		total++
+	}
+	h.c.Eng.RunUntil(2 * time.Second)
+	h.checkTotalOrder(total, nil)
+	for i, w := range watermarks {
+		if w == 0 {
+			t.Fatalf("replica %d: stable listener never fired", i)
+		}
+	}
+}

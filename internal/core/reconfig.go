@@ -405,6 +405,14 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 	// listener observes the installed view and exactly the local commands
 	// this reconfiguration lost.
 	r.notifyConfig(dropped)
+
+	// The install moved the executed watermark (the transfer may have
+	// executed commands, and LatestTV restarted from the decision
+	// baseline): wake the read path so parked reads re-evaluate against
+	// the new configuration. Inside a batch turn EndBatch notifies.
+	if !r.inBatch {
+		r.notifyStable()
+	}
 }
 
 // sortedCmds flattens a timestamp-keyed command map in timestamp order.

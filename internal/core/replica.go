@@ -7,6 +7,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"clockrsm/internal/consensus"
@@ -96,6 +97,10 @@ type Replica struct {
 	rejoinTarget types.Epoch
 	// deferred buffers client commands submitted while suspended.
 	deferred []types.Command
+	// heldDropped counts messages discarded on held-buffer overflow; it
+	// is atomic so node.Status can surface it without crossing the
+	// event loop.
+	heldDropped atomic.Uint64
 	// held buffers PREPARE / PREPAREOK / CLOCKTIME messages that arrive
 	// tagged with a future epoch: the sender installed a reconfiguration
 	// decision this replica has not applied yet. Dropping them instead
@@ -106,13 +111,15 @@ type Replica struct {
 	// replica speaks the new epoch), so the buffer stays small; it is
 	// capped as a backstop.
 	held []heldMsg
-	// heldDropped counts messages discarded on held-buffer overflow.
-	heldDropped uint64
 	// onConfig, when set, observes every installed configuration and
 	// every locally originated command the protocol discards (see
 	// rsm.Reconfigurable). Fired on the event loop, off the data hot
 	// path: only reconfigurations and refused submissions reach it.
 	onConfig func(ev rsm.ConfigEvent)
+	// onStable, when set, fires at the end of every turn in which the
+	// executed watermark may have advanced (see rsm.StateReader); the
+	// runtime's read path uses it to release parked reads.
+	onStable func()
 
 	// Batch-turn state: between BeginBatch and EndBatch (or while
 	// processing one msg.Batch), outgoing broadcasts accumulate in
@@ -136,6 +143,7 @@ var (
 	_ rsm.Protocol       = (*Replica)(nil)
 	_ rsm.IDAllocator    = (*Replica)(nil)
 	_ rsm.Reconfigurable = (*Replica)(nil)
+	_ rsm.StateReader    = (*Replica)(nil)
 )
 
 // New creates a Clock-RSM replica over env, executing committed commands
@@ -234,8 +242,9 @@ func (r *Replica) Committed() uint64 { return r.committed }
 
 // HeldDropped returns how many future-epoch messages were discarded on
 // hold-buffer overflow. Non-zero means a straggler may have a history
-// gap only a state transfer can close; see maxHeld.
-func (r *Replica) HeldDropped() uint64 { return r.heldDropped }
+// gap only a state transfer can close; see maxHeld. Safe to call from
+// any goroutine.
+func (r *Replica) HeldDropped() uint64 { return r.heldDropped.Load() }
 
 // Waits returns how many times the Algorithm 1 line-8 wait actually had
 // to block (expected to be rare with reasonable clock skew).
@@ -370,7 +379,7 @@ func (r *Replica) hold(epoch types.Epoch, from types.ReplicaID, m msg.Message) {
 		copy(r.held, r.held[1:])
 		r.held[len(r.held)-1] = heldMsg{}
 		r.held = r.held[:len(r.held)-1]
-		r.heldDropped++
+		r.heldDropped.Add(1)
 	}
 	r.held = append(r.held, heldMsg{epoch: epoch, from: from, m: m})
 }
@@ -596,16 +605,76 @@ func (r *Replica) stable(ts types.Timestamp) bool {
 	return true
 }
 
+// StableTS implements rsm.StateReader: the executed watermark. Commits
+// happen strictly in timestamp order, so everything at or below the
+// commit frontier has executed; what bounds the watermark is what could
+// still commit. No configured replica can send a timestamp below its
+// LatestTV entry (senders emit strictly increasing clock readings over
+// FIFO links — the same reasoning as the stable-order rule, Alg. 1 line
+// 22), our own clock is strictly increasing past this reading, and a
+// pending command is by definition not yet executed. Hence:
+//
+//	W = min( Clock, min over other configured replicas of LatestTV,
+//	         smallest pending timestamp − 1 )
+//
+// While suspended for a reconfiguration the watermark freezes at the
+// commit frontier: the state transfer may execute commands between the
+// frontier and LatestTV, so nothing above the frontier is stable until
+// the new configuration installs (after which LatestTV restarts from
+// the decision baseline and the watermark recovers as members speak).
+func (r *Replica) StableTS() int64 {
+	if r.suspended {
+		return r.lastCommitted.Wall
+	}
+	w := r.env.Clock()
+	self := r.env.ID()
+	for _, k := range r.config {
+		if k == self {
+			continue
+		}
+		if tv := r.latestTV[k]; tv < w {
+			w = tv
+		}
+	}
+	if r.pending.Len() > 0 {
+		if h := r.pending.Min().ts.Wall - 1; h < w {
+			w = h
+		}
+	}
+	return w
+}
+
+// SetStableListener implements rsm.StateReader. The listener fires on
+// the event loop at the end of every turn in which the watermark may
+// have advanced (each commit scan, and each reconfiguration install).
+func (r *Replica) SetStableListener(fn func()) { r.onStable = fn }
+
+// notifyStable fires the watermark listener, if installed.
+func (r *Replica) notifyStable() {
+	if r.onStable != nil {
+		r.onStable()
+	}
+}
+
 // tryCommit commits pending commands from the head of the timestamp
 // order while all three conditions of COMMITTED(ts) hold (Alg. 1 lines
 // 14-23): majority replication, stable order, and — by virtue of
 // committing strictly in timestamp order from the heap head — prefix
 // replication. During a batch turn the scan is deferred: EndBatch (or
 // the end of a msg.Batch delivery) runs it once for the whole burst.
+// Every completed scan fires the watermark listener: even without
+// commits, the LatestTV observations folded in this turn may have
+// advanced the executed watermark.
 func (r *Replica) tryCommit() {
 	if r.suspended || r.inBatch {
 		return
 	}
+	r.commitScan()
+	r.notifyStable()
+}
+
+// commitScan is the commit cascade of tryCommit.
+func (r *Replica) commitScan() {
 	maj := types.Majority(len(r.spec))
 	for r.pending.Len() > 0 {
 		head := r.pending.Min()

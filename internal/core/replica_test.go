@@ -20,6 +20,7 @@ type harness struct {
 	t       *testing.T
 	c       *sim.Cluster
 	reps    []*Replica
+	apps    []*rsm.App
 	orders  [][]types.CommandID
 	replies []map[types.CommandID]time.Duration // reply time per command
 	submits map[types.CommandID]time.Duration
@@ -50,6 +51,7 @@ func newHarness(t *testing.T, lat *wan.Matrix, opts Options, copts sim.ClusterOp
 		}
 		rep := New(r, app, opts)
 		h.reps = append(h.reps, rep)
+		h.apps = append(h.apps, app)
 		r.SetProtocol(rep)
 	}
 	h.c.Start()

@@ -104,7 +104,10 @@ type Store struct {
 	applied uint64
 }
 
-var _ rsm.StateMachine = (*Store)(nil)
+var (
+	_ rsm.StateMachine = (*Store)(nil)
+	_ rsm.StateQuerier = (*Store)(nil)
+)
 
 // New returns an empty store.
 func New() *Store {
@@ -135,6 +138,22 @@ func (s *Store) Apply(payload []byte) []byte {
 		return prev
 	}
 	return nil
+}
+
+// Query implements rsm.StateQuerier: it answers read-only commands
+// (GET) directly from local state, bypassing the replicated Apply
+// path. The answer for a GET is byte-identical to what Apply would
+// return for the same payload; mutating and malformed payloads answer
+// nil without touching state. Safe for concurrent use with Apply (the
+// read-path runtime serves bounded-staleness reads from client
+// goroutines).
+func (s *Store) Query(q []byte) []byte {
+	cmd, err := Decode(q)
+	if err != nil || cmd.Op != OpGet {
+		return nil
+	}
+	v, _ := s.Lookup(cmd.Key)
+	return v
 }
 
 // Lookup reads a key directly from local state, bypassing replication

@@ -48,6 +48,15 @@ const latRingSize = 512
 // the data hot path.
 const latSampleMask = 15
 
+// heldReporter is implemented by protocols that buffer future-epoch
+// messages with a drop-on-overflow backstop (core.Replica): a non-zero
+// count means a straggler may carry a history gap only a state
+// transfer can close, which operators must be able to see. The method
+// must be safe to call from any goroutine.
+type heldReporter interface {
+	HeldDropped() uint64
+}
+
 // confWaiter is one pending Reconfigure: its future resolves when the
 // decision for the targeted epoch is installed — with success if the
 // installed member set matches the target, ErrConfigConflict otherwise.
@@ -84,6 +93,21 @@ type GroupStatus struct {
 	// sweeps), control plane included.
 	Resolved      uint64
 	CommitLatency LatencySummary
+	// ReadWatermark is the executed watermark local reads are served
+	// from (zero when the protocol exposes none — reads replicate), and
+	// ReadAge is how far the clock was past it at snapshot time: the
+	// staleness bound a Stale read issued now would observe.
+	ReadWatermark int64
+	ReadAge       time.Duration
+	// ReadsLocal counts reads served from local state (all tiers);
+	// ReadsParked counts how many of them had to wait for the watermark
+	// to cover their capture time or session token.
+	ReadsLocal  uint64
+	ReadsParked uint64
+	// HeldDropped counts future-epoch protocol messages discarded on
+	// hold-buffer overflow. Non-zero means this replica may have a
+	// history gap only a state transfer can close (see core.Replica).
+	HeldDropped uint64
 }
 
 // Epoch returns the configuration epoch this node has installed. It is
@@ -126,6 +150,15 @@ func (n *Node) Status() GroupStatus {
 		Proposed:      n.proposed.Load(),
 		Resolved:      n.resolved.Load(),
 		CommitLatency: n.latencySummary(),
+		ReadsLocal:    n.readsLocal.Load(),
+		ReadsParked:   n.readsParked.Load(),
+	}
+	if w := n.watermark.Load(); w > 0 {
+		st.ReadWatermark = w
+		st.ReadAge = time.Duration(n.clk.Now() - w)
+	}
+	if n.heldRep != nil {
+		st.HeldDropped = n.heldRep.HeldDropped()
 	}
 	if v := n.view.Load(); v != nil {
 		st.Epoch = v.Epoch
@@ -206,6 +239,10 @@ func (n *Node) onConfigEvent(ev rsm.ConfigEvent) {
 			delete(n.waiters, seq)
 			f.resolve(types.Result{}, ErrNotInConfig)
 		}
+		// Parked reads share the contract: a removed replica's watermark
+		// is frozen, so a read parked for it would wait forever. The
+		// client fails over and reads elsewhere.
+		n.failParkedReads(ErrNotInConfig)
 	} else {
 		for _, id := range ev.Dropped {
 			if f, ok := n.waiters[id.Seq]; ok {

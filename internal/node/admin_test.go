@@ -205,13 +205,21 @@ func TestConcurrentReconfigureResolvesEveryFuture(t *testing.T) {
 // resolve ErrNotInConfig (never park), and the command must never
 // execute anywhere.
 func TestInFlightFutureFailsOnRemoval(t *testing.T) {
-	// Replica 2 is 100 ms away from 0 and 1, which are 1 ms apart: a
+	// Replica 2 is 400 ms away from 0 and 1, which are 1 ms apart: a
 	// PREPARE from 2 cannot reach {0,1} before their reconfiguration
-	// installs, so the command is provably discarded.
+	// installs, so the command is provably discarded. (This test used
+	// to flake ~25% under -race: the hub's old single-FIFO inbox let
+	// the 400 ms-due PREPARE head-of-line-block the 1 ms-due SUSPEND
+	// whenever the PREPARE's enqueue won the race, delaying the whole
+	// reconfiguration until the PREPARE had been delivered and
+	// collected — the command then legitimately committed. The hub now
+	// merges per-sender FIFO queues in due-time order, so enqueue-order
+	// races can no longer invert link latencies; the margin is kept
+	// large for -race slowness.)
 	lat := wan.NewMatrix(3)
 	lat.Set(0, 1, time.Millisecond)
-	lat.Set(0, 2, 100*time.Millisecond)
-	lat.Set(1, 2, 100*time.Millisecond)
+	lat.Set(0, 2, 400*time.Millisecond)
+	lat.Set(1, 2, 400*time.Millisecond)
 	c := newCluster(t, 3, lat, protoMakers()["clockrsm"])
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

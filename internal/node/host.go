@@ -139,6 +139,20 @@ func (h *Host) ProposeKey(ctx context.Context, key string, payload []byte) (*Fut
 	return h.nodes[h.router.Group(key)].Propose(ctx, payload)
 }
 
+// Read answers a read-only kvstore query at the requested consistency
+// level, routed to its key's replication group by the shard router —
+// the same dispatch Propose uses, so a read always lands in the group
+// whose total order its key's writes belong to. See Node.Read.
+func (h *Host) Read(ctx context.Context, query []byte, lvl Level) (ReadResult, error) {
+	return h.nodes[h.router.GroupForPayload(query)].Read(ctx, query, lvl)
+}
+
+// ReadKey answers an opaque read-only query on the replication group
+// responsible for key.
+func (h *Host) ReadKey(ctx context.Context, key string, query []byte, lvl Level) (ReadResult, error) {
+	return h.nodes[h.router.Group(key)].Read(ctx, query, lvl)
+}
+
 // Bind connects group g's application to that group's proposal futures
 // (see Node.Bind).
 func (h *Host) Bind(g types.GroupID, app *rsm.App) { h.nodes[g].Bind(app) }

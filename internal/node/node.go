@@ -58,6 +58,7 @@ type event struct {
 	m     msg.Message // non-nil: deliver m from `from`
 	from  types.ReplicaID
 	fut   *Future // non-nil: mint an ID and submit this proposal
+	read  *readOp // non-nil: serve or park this local read
 	flush bool    // drain the client-side submit buffer
 }
 
@@ -114,6 +115,31 @@ type Node struct {
 	waiters map[uint64]*Future
 	mint    rsm.IDAllocator
 	nextSeq uint64
+
+	// Read-path state (see read.go). sr is the protocol's watermark
+	// interface (nil for protocols without one: reads fall back to
+	// replication); app/canQuery come from Bind and gate local serving;
+	// watermark is the lock-free cache of the executed watermark,
+	// refreshed by the stable listener (Stale reads and Status read
+	// it); readQ is the loop-owned timestamp-ordered waiter queue;
+	// readReg is the registry Stop sweeps.
+	sr        rsm.StateReader
+	app       *rsm.App
+	canQuery  bool
+	watermark atomic.Int64
+	readQ     readQueue
+
+	readMu      sync.Mutex
+	readReg     map[*readOp]struct{}
+	readStopped bool
+	readPurge   atomic.Bool // an abandoned-read purge event is queued
+
+	readsLocal  atomic.Uint64
+	readsParked atomic.Uint64
+
+	// heldRep reports the protocol's future-epoch hold-buffer drops
+	// (core.Replica.HeldDropped) for Status; nil when unsupported.
+	heldRep heldReporter
 
 	// Control-plane state (see admin.go). recon is the protocol's
 	// reconfiguration interface (nil for fixed-membership protocols);
@@ -204,6 +230,7 @@ func newNode(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 		failFast:    opts.FailFast,
 		submitBatch: sbatch,
 		waiters:     make(map[uint64]*Future),
+		readReg:     make(map[*readOp]struct{}),
 		timers:      make(map[*time.Timer]struct{}),
 		events:      make(chan event, qlen),
 		quit:        make(chan struct{}),
@@ -290,8 +317,14 @@ func (n *Node) After(d time.Duration, fn func()) {
 // Log implements rsm.Env.
 func (n *Node) Log() storage.Log { return n.log }
 
-// SetProtocol binds the protocol instance. Must precede Start.
-func (n *Node) SetProtocol(p rsm.Protocol) { n.proto = p }
+// SetProtocol binds the protocol instance. Must precede Start. The
+// read-path and status interfaces are captured here — setup time, like
+// Bind — so client goroutines created after setup read them safely.
+func (n *Node) SetProtocol(p rsm.Protocol) {
+	n.proto = p
+	n.sr, _ = p.(rsm.StateReader)
+	n.heldRep, _ = p.(heldReporter)
+}
 
 // Protocol returns the bound protocol.
 func (n *Node) Protocol() rsm.Protocol { return n.proto }
@@ -333,6 +366,13 @@ func (n *Node) startLoop() error {
 	// itself, so proposals and any direct protocol use share one
 	// collision-free sequence.
 	n.mint, _ = n.proto.(rsm.IDAllocator)
+	// Wire the read path: the protocol's watermark listener releases
+	// parked reads and refreshes the lock-free watermark cache. The
+	// loop has not started yet, so priming the cache is safe.
+	if n.sr != nil {
+		n.sr.SetStableListener(n.onStableAdvance)
+		n.watermark.Store(n.sr.StableTS())
+	}
 	// Wire the control plane: the protocol's configuration events keep
 	// the lock-free status view fresh, fail futures for discarded
 	// commands, and resolve Reconfigure epoch barriers (admin.go). The
@@ -373,6 +413,7 @@ func (n *Node) stopLoop() {
 		clear(n.timers)
 		n.timerMu.Unlock()
 		n.sweepProposals()
+		n.sweepReads()
 	})
 }
 
@@ -383,6 +424,8 @@ func (n *Node) exec(ev event) {
 		n.proto.Deliver(ev.from, ev.m)
 	case ev.fut != nil:
 		n.execPropose(ev.fut)
+	case ev.read != nil:
+		n.execRead(ev.read)
 	case ev.flush:
 		n.flushProposals()
 	default:

@@ -271,8 +271,13 @@ func (n *Node) register(f *Future) error {
 // Bind connects the replicated application to this node's proposal
 // futures: execution results of locally originated commands resolve the
 // matching Future on the event loop. An OnReply already installed on
-// app keeps firing after the future resolves. Bind must precede Start.
+// app keeps firing after the future resolves. Bind also hands the app
+// to the read path, so Read can serve queries from local state when
+// both the protocol and the state machine support it. Bind must
+// precede Start.
 func (n *Node) Bind(app *rsm.App) {
+	n.app = app
+	_, n.canQuery = app.SM.(rsm.StateQuerier)
 	prev := app.OnReply
 	app.OnReply = func(res types.Result) {
 		n.completeProposal(res)

@@ -15,6 +15,7 @@ import (
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/transport"
 	"clockrsm/internal/types"
+	"clockrsm/internal/wan"
 )
 
 // gcid keys one command across the sharded store: sequence numbers are
@@ -45,9 +46,19 @@ type mgHarness struct {
 	submits  map[gcid]time.Time
 	replies  map[gcid]time.Time
 	canceled int // proposals abandoned via context cancellation
+	// reads records every local read issued through the read-path API,
+	// for the per-key read/write interleaving check (see readlin_test).
+	reads []readEv
 }
 
 func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
+	return newMGHarnessLat(t, replicas, groups, nil)
+}
+
+// newMGHarnessLat is newMGHarness over a WAN latency matrix: message
+// propagation takes real time, so stale local state is observable for
+// whole milliseconds — long enough for the read checks to have teeth.
+func newMGHarnessLat(t *testing.T, replicas, groups int, lat *wan.Matrix) *mgHarness {
 	t.Helper()
 	h := &mgHarness{
 		t:        t,
@@ -58,7 +69,7 @@ func newMGHarness(t *testing.T, replicas, groups int) *mgHarness {
 		submits:  make(map[gcid]time.Time),
 		replies:  make(map[gcid]time.Time),
 	}
-	hub := transport.NewHub(replicas, transport.HubOptions{Codec: true, Groups: groups})
+	hub := transport.NewHub(replicas, transport.HubOptions{Codec: true, Groups: groups, Latency: lat})
 	t.Cleanup(hub.Close)
 	spec := make([]types.ReplicaID, replicas)
 	for i := range spec {

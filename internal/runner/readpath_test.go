@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReadPathSmoke runs a short read-path experiment in every mode and
+// pins the structural claims: reads flow in all modes, the local tiers
+// add zero replication traffic (no PREPARE broadcast ever carries a
+// read), and the replicated baseline replicates every read.
+func TestReadPathSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run")
+	}
+	for _, mode := range []ReadMode{ReadReplicated, ReadLinearizable, ReadSequential, ReadStale} {
+		mode := mode
+		t.Run(string(mode), func(t *testing.T) {
+			res, err := RunReadPath(ReadPathConfig{
+				Mode:     mode,
+				Warmup:   100 * time.Millisecond,
+				Duration: 300 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ReadOpsPerSec <= 0 {
+				t.Fatalf("mode %s: no reads served", mode)
+			}
+			if res.WriteOpsPerSec <= 0 {
+				t.Fatalf("mode %s: no writes committed", mode)
+			}
+			switch mode {
+			case ReadReplicated:
+				if res.ReadsReplicated == 0 {
+					t.Fatal("replicated mode reported zero replicated reads")
+				}
+			default:
+				if res.ReadsReplicated != 0 {
+					t.Fatalf("mode %s: %d reads entered the replication path, want 0",
+						mode, res.ReadsReplicated)
+				}
+			}
+			t.Logf("%s: %.0f reads/s, %.0f writes/s, %d replicated reads",
+				mode, res.ReadOpsPerSec, res.WriteOpsPerSec, res.ReadsReplicated)
+		})
+	}
+}

@@ -36,6 +36,7 @@ type delivery struct {
 	from types.ReplicaID
 	m    msg.Message
 	due  time.Time
+	seq  uint64 // arrival order, tie-break among equal due times
 }
 
 // Hub connects N in-process endpoints.
@@ -64,7 +65,13 @@ func NewHub(n int, opts HubOptions) *Hub {
 			quit:   make(chan struct{}),
 		}
 		for g := range ep.groups {
-			ep.groups[g].inbox = make(chan delivery, opts.QueueLen)
+			if opts.Latency != nil {
+				ep.groups[g].queues = make(map[types.ReplicaID][]delivery, n)
+				ep.groups[g].notify = make(chan struct{}, 1)
+				ep.groups[g].space = make(chan struct{}, 1)
+			} else {
+				ep.groups[g].inbox = make(chan delivery, opts.QueueLen)
+			}
 		}
 		h.eps = append(h.eps, ep)
 	}
@@ -81,11 +88,28 @@ func (h *Hub) Close() {
 	}
 }
 
-// inprocGroup is one group's inbox and handler at one endpoint.
+// inprocGroup is one group's inbox and handler at one endpoint. With no
+// latency matrix, `inbox` is a plain FIFO channel (zero overhead — the
+// hot-path benchmarks run here). With a latency matrix, deliveries go
+// through per-sender FIFO queues merged in due-time order instead:
+// each (sender → receiver) link is FIFO, but a near sender's message
+// must not queue behind a far sender's — a single arrival-ordered FIFO
+// would head-of-line-block a 1 ms-due SUSPEND behind a 400 ms-due
+// PREPARE that happened to enqueue first, an artifact no pair of real
+// sockets exhibits (and one that inverted cause and effect in
+// asymmetric-latency reconfiguration tests).
 type inprocGroup struct {
 	handler Handler
 	inbox   chan delivery
 	done    chan struct{}
+
+	// Latency-mode state (inbox is then unused).
+	mu      sync.Mutex
+	queues  map[types.ReplicaID][]delivery // per-sender FIFO
+	queued  int                            // total across senders (capacity check)
+	nextSeq uint64
+	notify  chan struct{} // pulsed on enqueue
+	space   chan struct{} // pulsed on dequeue (backpressure release)
 }
 
 // inprocEndpoint is one replica's view of the hub.
@@ -146,28 +170,88 @@ func (e *inprocEndpoint) Start() error {
 	return nil
 }
 
-// run delivers one group's inbox messages in order, honoring
-// per-message due times (all due times on one inbox are non-decreasing
-// only per sender; a cross-sender inversion sleeps the small
-// difference, which is the same behaviour a kernel socket would give).
+// run delivers one group's messages. Without a latency matrix this is
+// the plain FIFO inbox. With one, it merges the per-sender FIFO queues
+// in due-time order (arrival order among equal dues): each link stays
+// FIFO — senders' messages deliver in the order sent — but a near
+// sender is never head-of-line-blocked by a far sender's in-flight
+// message, matching what independent kernel sockets would do.
 func (e *inprocEndpoint) run(grp *inprocGroup) {
 	defer close(grp.done)
+	if grp.queues != nil {
+		e.runLatency(grp)
+		return
+	}
 	for {
 		select {
 		case <-e.quit:
 			return
 		case d := <-grp.inbox:
-			if !d.due.IsZero() {
-				if wait := time.Until(d.due); wait > 0 {
-					select {
-					case <-time.After(wait):
-					case <-e.quit:
-						return
-					}
-				}
-			}
 			grp.handler(d.from, d.m)
 		}
+	}
+}
+
+// runLatency is the due-time-ordered delivery loop of latency mode.
+func (e *inprocEndpoint) runLatency(grp *inprocGroup) {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		grp.mu.Lock()
+		// Earliest-due head across senders; arrival order breaks ties.
+		var head delivery
+		headSender := types.NoReplica
+		for s, q := range grp.queues {
+			if len(q) == 0 {
+				continue
+			}
+			d := q[0]
+			if headSender == types.NoReplica || d.due.Before(head.due) ||
+				(d.due.Equal(head.due) && d.seq < head.seq) {
+				head, headSender = d, s
+			}
+		}
+		if headSender == types.NoReplica {
+			grp.mu.Unlock()
+			select {
+			case <-grp.notify:
+			case <-e.quit:
+				return
+			}
+			continue
+		}
+		if wait := time.Until(head.due); wait > 0 {
+			grp.mu.Unlock()
+			// Sleep until the head is due — or re-evaluate early if a
+			// new message arrives (it may be due sooner).
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-grp.notify:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-e.quit:
+				return
+			}
+			continue
+		}
+		q := grp.queues[headSender]
+		q[0] = delivery{}
+		grp.queues[headSender] = q[1:]
+		if len(q) == 1 {
+			// The slice is spent; let the backing array go.
+			grp.queues[headSender] = nil
+		}
+		grp.queued--
+		grp.mu.Unlock()
+		select {
+		case grp.space <- struct{}{}:
+		default:
+		}
+		grp.handler(head.from, head.m)
 	}
 }
 
@@ -232,17 +316,41 @@ func (e *inprocEndpoint) BroadcastGroup(dst []types.ReplicaID, g types.GroupID, 
 	msg.PutBuf(buf)
 }
 
-// deliver queues m on the destination group's inbox, stamping the
-// emulated WAN due time.
+// deliver queues m on the destination group's inbox (or, in latency
+// mode, its per-sender queue, stamped with the emulated WAN due time).
+// A full inbox blocks the sender — backpressure — until the receiver
+// drains or quits.
 func (e *inprocEndpoint) deliver(to types.ReplicaID, g types.GroupID, m msg.Message) {
 	dst := e.hub.eps[to]
-	d := delivery{from: e.self, m: m}
-	if lat := e.hub.opts.Latency; lat != nil {
-		d.due = time.Now().Add(lat.OneWay(e.self, to))
+	grp := &dst.groups[g]
+	if e.hub.opts.Latency == nil {
+		select {
+		case grp.inbox <- delivery{from: e.self, m: m}:
+		case <-dst.quit:
+		}
+		return
 	}
-	select {
-	case dst.groups[g].inbox <- d:
-	case <-dst.quit:
+	due := time.Now().Add(e.hub.opts.Latency.OneWay(e.self, to))
+	for {
+		grp.mu.Lock()
+		if grp.queued < e.hub.opts.QueueLen {
+			d := delivery{from: e.self, m: m, due: due, seq: grp.nextSeq}
+			grp.nextSeq++
+			grp.queues[e.self] = append(grp.queues[e.self], d)
+			grp.queued++
+			grp.mu.Unlock()
+			select {
+			case grp.notify <- struct{}{}:
+			default:
+			}
+			return
+		}
+		grp.mu.Unlock()
+		select {
+		case <-grp.space:
+		case <-dst.quit:
+			return
+		}
 	}
 }
 

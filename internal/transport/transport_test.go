@@ -135,6 +135,74 @@ func TestInprocLatencyEmulation(t *testing.T) {
 	}
 }
 
+// TestInprocLatencyNoHeadOfLineBlocking pins the per-link semantics of
+// latency mode: a near sender's message must not wait behind a far
+// sender's in-flight message that happened to enqueue first — each
+// (sender → receiver) link is an independent FIFO, merged in due-time
+// order. The old single-FIFO inbox delivered in enqueue order and
+// could delay a 1 ms message by 200 ms, inverting cause and effect in
+// asymmetric-latency tests.
+func TestInprocLatencyNoHeadOfLineBlocking(t *testing.T) {
+	lat := wan.NewMatrix(3)
+	lat.Set(0, 2, 200*time.Millisecond) // far sender
+	lat.Set(1, 2, time.Millisecond)     // near sender
+	h := NewHub(3, HubOptions{Latency: lat})
+	defer h.Close()
+	col := &collector{}
+	h.Endpoint(2).SetHandler(col.handler())
+	h.Endpoint(0).SetHandler(func(types.ReplicaID, msg.Message) {})
+	h.Endpoint(1).SetHandler(func(types.ReplicaID, msg.Message) {})
+	for i := 0; i < 3; i++ {
+		if err := h.Endpoint(types.ReplicaID(i)).Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	h.Endpoint(0).Send(2, &msg.Commit{Slot: 100}) // enqueues first, due +200ms
+	h.Endpoint(1).Send(2, &msg.Commit{Slot: 200}) // enqueues second, due +1ms
+	waitFor(t, func() bool { return col.count() == 2 }, 2*time.Second)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.slots[0] != 200 || col.slots[1] != 100 {
+		t.Fatalf("delivery order %v, want the near sender's message first", col.slots)
+	}
+	if d := col.times[0].Sub(start); d > 100*time.Millisecond {
+		t.Errorf("near message delivered after %v: head-of-line blocked by the far sender", d)
+	}
+	if d := col.times[1].Sub(start); d < 150*time.Millisecond {
+		t.Errorf("far message delivered after only %v, want ~200ms", d)
+	}
+}
+
+// TestInprocLatencyPerSenderFIFO: within one link, messages still
+// deliver in the order sent.
+func TestInprocLatencyPerSenderFIFO(t *testing.T) {
+	lat := wan.NewMatrix(2)
+	lat.Set(0, 1, 10*time.Millisecond)
+	h := NewHub(2, HubOptions{Latency: lat})
+	defer h.Close()
+	col := &collector{}
+	h.Endpoint(1).SetHandler(col.handler())
+	h.Endpoint(0).SetHandler(func(types.ReplicaID, msg.Message) {})
+	h.Endpoint(0).Start()
+	h.Endpoint(1).Start()
+
+	const n = 50
+	for i := uint64(0); i < n; i++ {
+		h.Endpoint(0).Send(1, &msg.Commit{Slot: i})
+	}
+	waitFor(t, func() bool { return col.count() == n }, 5*time.Second)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for i := uint64(0); i < n; i++ {
+		if col.slots[i] != i {
+			t.Fatalf("slot %d delivered at position %d: per-sender FIFO violated", col.slots[i], i)
+		}
+	}
+}
+
 func TestTCPRoundTrip(t *testing.T) {
 	addrs := map[types.ReplicaID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
 	a := NewTCP(0, addrs, TCPOptions{DialRetry: 50 * time.Millisecond})

@@ -1,0 +1,63 @@
+// BenchmarkReadPath measures the consistency-tiered read path against
+// the replicated-GET baseline: the same five-replica Clock-RSM cluster
+// as BenchmarkHotPath, under a fixed closed-loop write load, saturated
+// by closed-loop readers in one mode per variant. The read ops/s gap
+// between ReadPathReplicated and the local tiers is the PREPARE
+// broadcast every pre-read-path GET was paying; the local tiers are
+// verified to add zero replication traffic. BENCH_5.json records the
+// trajectory; CI runs the variants with -benchtime=1x as a smoke.
+package clockrsm_test
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/runner"
+)
+
+func runReadPath(b *testing.B, mode runner.ReadMode) {
+	b.Helper()
+	var reads, writes float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner.RunReadPath(runner.ReadPathConfig{
+			Mode:     mode,
+			Warmup:   300 * time.Millisecond,
+			Duration: 2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mode != runner.ReadReplicated && res.ReadsReplicated != 0 {
+			b.Fatalf("mode %s: %d reads entered the replication path, want 0", mode, res.ReadsReplicated)
+		}
+		reads = res.ReadOpsPerSec
+		writes = res.WriteOpsPerSec
+	}
+	b.ReportMetric(reads, "reads/s")
+	b.ReportMetric(writes, "writes/s")
+}
+
+// BenchmarkReadPathReplicated is the baseline: every GET replicates
+// through the log like a write (the pre-read-path behavior).
+func BenchmarkReadPathReplicated(b *testing.B) {
+	runReadPath(b, runner.ReadReplicated)
+}
+
+// BenchmarkReadPathLinearizable serves GETs from the stable prefix
+// after parking until the watermark covers the capture time — the same
+// guarantee as the baseline, with zero PREPARE broadcasts.
+func BenchmarkReadPathLinearizable(b *testing.B) {
+	runReadPath(b, runner.ReadLinearizable)
+}
+
+// BenchmarkReadPathSequential serves GETs at the current watermark,
+// session-monotonic, one event-loop round-trip per read.
+func BenchmarkReadPathSequential(b *testing.B) {
+	runReadPath(b, runner.ReadSequential)
+}
+
+// BenchmarkReadPathStale serves GETs from the caller's goroutine
+// without touching the event loop.
+func BenchmarkReadPathStale(b *testing.B) {
+	runReadPath(b, runner.ReadStale)
+}
