@@ -40,12 +40,18 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 		var b strings.Builder
 		fmt.Fprintf(&b, "OK id=%s groups=%d", st.ID, len(st.Groups))
 		for _, g := range st.Groups {
-			fmt.Fprintf(&b, " %s=(epoch=%d members=%s in=%t inflight=%d proposed=%d resolved=%d lat_n=%d lat_mean=%s lat_p95=%s lat_max=%s reads=%d parked=%d read_age=%s held_dropped=%d)",
+			fmt.Fprintf(&b, " %s=(epoch=%d members=%s in=%t inflight=%d proposed=%d resolved=%d lat_n=%d lat_mean=%s lat_p95=%s lat_max=%s reads=%d parked=%d read_age=%s held_dropped=%d snap_restores=%d",
 				g.Group, g.Epoch, node.MemberString(g.Members), g.InConfig,
 				g.InFlight, g.Proposed, g.Resolved,
 				g.CommitLatency.Samples, g.CommitLatency.Mean,
 				g.CommitLatency.P95, g.CommitLatency.Max,
-				g.ReadsLocal, g.ReadsParked, g.ReadAge, g.HeldDropped)
+				g.ReadsLocal, g.ReadsParked, g.ReadAge, g.HeldDropped,
+				g.SnapRestores)
+			if g.FsyncMode != "" {
+				fmt.Fprintf(&b, " fsync=%s appends=%d fsyncs=%d fsync_batch_max=%d",
+					g.FsyncMode, g.Log.Appends, g.Log.Syncs, g.Log.MaxBatch)
+			}
+			b.WriteString(")")
 		}
 		return b.String(), true
 	case "RECONF":

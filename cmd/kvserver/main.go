@@ -70,24 +70,55 @@ import (
 	"clockrsm/internal/types"
 )
 
+// serverConfig carries the parsed kvserver flags.
+type serverConfig struct {
+	id            int
+	peers         string
+	clientAddr    string
+	groups        int
+	delta         time.Duration
+	suspect       time.Duration
+	logPath       string
+	clientTimeout time.Duration
+	// fsync selects the WAL durability mode for every group's file log:
+	// "always" (one fsync per append), "batch" (group commit: one fsync
+	// per event-loop batch, released before the covering acks leave), or
+	// "off" (no fsync). Ignored without -log.
+	fsync string
+	// checkpointEvery, when positive, snapshots the state machine every
+	// that many committed commands and compacts the log through it.
+	checkpointEvery int
+	// rejoin controls the recovery handshake after a restart: "auto"
+	// rejoins groups whose log replayed (the cluster may have
+	// reconfigured this replica out while it was down), "always" rejoins
+	// every group, "never" disables it.
+	rejoin string
+}
+
 func main() {
-	id := flag.Int("id", 0, "replica ID (index into -peers)")
-	peers := flag.String("peers", "", "comma-separated replica addresses, ordered by ID")
-	clientAddr := flag.String("client", "127.0.0.1:7200", "client listen address")
-	groups := flag.Int("groups", 1, "independent replication groups hosted by this node (key-sharded)")
-	delta := flag.Duration("delta", 5*time.Millisecond, "CLOCKTIME broadcast interval Δ (0 disables)")
-	suspect := flag.Duration("suspect", 0, "failure detector timeout (0 disables reconfiguration)")
-	logPath := flag.String("log", "", "stable log file (empty = in-memory; group g uses <path>.g<g>)")
-	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-command commit wait bound for client connections (0 disables)")
+	var cfg serverConfig
+	flag.IntVar(&cfg.id, "id", 0, "replica ID (index into -peers)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated replica addresses, ordered by ID")
+	flag.StringVar(&cfg.clientAddr, "client", "127.0.0.1:7200", "client listen address")
+	flag.IntVar(&cfg.groups, "groups", 1, "independent replication groups hosted by this node (key-sharded)")
+	flag.DurationVar(&cfg.delta, "delta", 5*time.Millisecond, "CLOCKTIME broadcast interval Δ (0 disables)")
+	flag.DurationVar(&cfg.suspect, "suspect", 0, "failure detector timeout (0 disables reconfiguration)")
+	flag.StringVar(&cfg.logPath, "log", "", "stable log file (empty = in-memory; group g uses <path>.g<g>)")
+	flag.DurationVar(&cfg.clientTimeout, "client-timeout", 30*time.Second, "per-command commit wait bound for client connections (0 disables)")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync mode with -log: always, batch (group commit), or off")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint", 0, "snapshot + compact the log every N committed commands (0 disables)")
+	flag.StringVar(&cfg.rejoin, "rejoin", "auto", "rejoin the configuration after restart: auto (replayed groups), always, or never")
 	flag.Parse()
 
-	if err := run(*id, *peers, *clientAddr, *groups, *delta, *suspect, *logPath, *clientTimeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Duration, logPath string, clientTimeout time.Duration) error {
+func run(cfg serverConfig) error {
+	id, groups := cfg.id, cfg.groups
+	peerList, clientAddr, logPath := cfg.peers, cfg.clientAddr, cfg.logPath
 	if groups < 1 {
 		groups = 1
 	}
@@ -108,6 +139,16 @@ func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Du
 		return fmt.Errorf("id %d out of range for %d peers", id, len(spec))
 	}
 
+	mode, err := storage.ParseSyncMode(cfg.fsync)
+	if err != nil {
+		return err
+	}
+	switch cfg.rejoin {
+	case "auto", "always", "never":
+	default:
+		return fmt.Errorf("bad -rejoin %q (want auto, always, or never)", cfg.rejoin)
+	}
+
 	logs := make([]storage.Log, groups)
 	replay := make([]bool, groups)
 	if logPath != "" {
@@ -115,12 +156,16 @@ func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Du
 			return err
 		}
 		for g := 0; g < groups; g++ {
-			fl, err := storage.OpenFileLog(shard.LogPath(logPath, types.GroupID(g), groups), storage.FileLogOptions{Sync: true})
+			fl, err := storage.OpenFileLog(shard.LogPath(logPath, types.GroupID(g), groups), storage.FileLogOptions{Mode: mode})
 			if err != nil {
 				return err
 			}
 			logs[g] = fl
-			replay[g] = fl.Len() > 0
+			// A restart is any log with history: live entries, or a
+			// checkpoint that compacted them all (Len alone would mistake a
+			// fully-compacted log for a fresh boot and skip the rejoin).
+			_, hasCP := fl.LastCheckpoint()
+			replay[g] = fl.Len() > 0 || hasCP
 		}
 	}
 
@@ -132,16 +177,17 @@ func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Du
 	if err != nil {
 		return err
 	}
-	srv := &server{host: host, timeout: clientTimeout}
+	srv := &server{host: host, timeout: cfg.clientTimeout}
 	for g := 0; g < groups; g++ {
 		gid := types.GroupID(g)
 		app := &rsm.App{SM: kvstore.New()}
 		nd := host.Group(gid)
 		nd.Bind(app) // execution results resolve Propose futures
 		nd.SetProtocol(core.New(nd, app, core.Options{
-			ClockTimeInterval: delta,
-			SuspectTimeout:    suspect,
+			ClockTimeInterval: cfg.delta,
+			SuspectTimeout:    cfg.suspect,
 			Replay:            replay[g],
+			CheckpointEvery:   cfg.checkpointEvery,
 		}))
 	}
 	if logPath != "" {
@@ -156,7 +202,17 @@ func run(id int, peerList, clientAddr string, groups int, delta, suspect time.Du
 		return err
 	}
 	defer host.Stop()
-	log.Printf("replica r%d up; groups=%d peers=%v client=%s", id, groups, peerList, clientAddr)
+	// A restarted replica may have been reconfigured out while it was
+	// down; rejoin forces a reconfiguration that re-admits it and pulls
+	// any missed history via checkpoint + tail state transfer.
+	for g := 0; g < groups; g++ {
+		if cfg.rejoin == "always" || (cfg.rejoin == "auto" && replay[g]) {
+			if err := host.Group(types.GroupID(g)).Rejoin(); err != nil {
+				return fmt.Errorf("rejoin group %d: %w", g, err)
+			}
+		}
+	}
+	log.Printf("replica r%d up; groups=%d peers=%v client=%s fsync=%s", id, groups, peerList, clientAddr, mode)
 
 	ln, err := net.Listen("tcp", clientAddr)
 	if err != nil {

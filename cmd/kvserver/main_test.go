@@ -124,7 +124,11 @@ func testKVServerEndToEnd(t *testing.T, groups int) {
 		i := i
 		go func() {
 			// run blocks serving; errors after shutdown are expected.
-			_ = run(i, peers, clientAddrs[i], groups, 5*time.Millisecond, 0, "", 30*time.Second)
+			_ = run(serverConfig{
+				id: i, peers: peers, clientAddr: clientAddrs[i], groups: groups,
+				delta: 5 * time.Millisecond, clientTimeout: 30 * time.Second,
+				fsync: "always", rejoin: "auto",
+			})
 		}()
 	}
 
@@ -245,7 +249,11 @@ func TestKVServerAdminEndToEnd(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		i := i
 		go func() {
-			_ = run(i, peers, clientAddrs[i], 2, 5*time.Millisecond, 0, "", 30*time.Second)
+			_ = run(serverConfig{
+				id: i, peers: peers, clientAddr: clientAddrs[i], groups: 2,
+				delta: 5 * time.Millisecond, clientTimeout: 30 * time.Second,
+				fsync: "always", rejoin: "auto",
+			})
 		}()
 	}
 	dial := func(addr string) net.Conn {

@@ -6,10 +6,14 @@
 package clockrsm_test
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"clockrsm/internal/runner"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
 )
 
 func runHotPath(b *testing.B, payload, groups int) {
@@ -61,6 +65,53 @@ func BenchmarkHotPathBatch8(b *testing.B) {
 // scales with the batch so flushes can fill).
 func BenchmarkHotPathBatch64(b *testing.B) {
 	runHotPathBatch(b, 100, 1, 64)
+}
+
+// runHotPathFsync is the durability A/B: the same saturated hot path,
+// but every replica logs to a real FileLog in the given fsync mode.
+// In SyncBatch mode the event loop's group commit covers each batch
+// turn's appends with one fsync before the acknowledgements leave (the
+// core↔storage durability barrier); SyncOff prices the same writes
+// with no fsync at all. BENCH_6.json records the pair measured on
+// /dev/shm (TMPDIR=/dev/shm), where the acceptance bar is batch within
+// 5% of off.
+func runHotPathFsync(b *testing.B, mode storage.SyncMode) {
+	b.Helper()
+	var ops float64
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		res, err := runner.RunThroughput(runner.ThroughputConfig{
+			Protocol:    runner.ClockRSM,
+			PayloadSize: 100,
+			Warmup:      300 * time.Millisecond,
+			Duration:    2 * time.Second,
+			NewLog: func(r types.ReplicaID, g types.GroupID) storage.Log {
+				path := filepath.Join(dir, fmt.Sprintf("r%d-g%d.wal", r, g))
+				l, err := storage.OpenFileLog(path, storage.FileLogOptions{Mode: mode})
+				if err != nil {
+					b.Fatalf("open %s: %v", path, err)
+				}
+				return l
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.OpsPerSec
+	}
+	b.ReportMetric(ops, "ops/s")
+}
+
+// BenchmarkHotPathFsyncBatch measures the full stack with group-commit
+// durability on: one covering fsync per event-loop batch turn.
+func BenchmarkHotPathFsyncBatch(b *testing.B) {
+	runHotPathFsync(b, storage.SyncBatch)
+}
+
+// BenchmarkHotPathFsyncOff is the baseline for the durability tax: the
+// same file logs, no fsync.
+func BenchmarkHotPathFsyncOff(b *testing.B) {
+	runHotPathFsync(b, storage.SyncOff)
 }
 
 // BenchmarkHotPathMultiGroup shards the same five-node cluster across

@@ -6,6 +6,7 @@
 package consensus
 
 import (
+	"fmt"
 	"time"
 
 	"clockrsm/internal/msg"
@@ -136,10 +137,17 @@ func (p *Paxos) startRound(k uint64, in *instance) {
 			p.tr.Send(q, m)
 		}
 	}
-	// Retry with a higher ballot if no decision arrives. Stagger by
-	// replica ID so duelling proposers eventually separate.
+	// Retry with a higher ballot if no decision arrives. The delay backs
+	// off exponentially with the attempt count: a fixed period shorter
+	// than the effective round-trip time livelocks — every retry aborts
+	// a round that was still in flight — so later attempts wait long
+	// enough for a full phase-1 + phase-2 exchange even on slow or
+	// overloaded links. Staggered by replica ID so duelling proposers
+	// eventually separate.
 	ballot := in.ballot
-	p.tr.After(p.retry+time.Duration(p.self)*50*time.Millisecond, func() {
+	delay := p.retry << min(in.attempt-1, 4)
+	delay += time.Duration(p.self) * 50 * time.Millisecond
+	p.tr.After(delay, func() {
 		if !in.decided && in.proposing && in.ballot == ballot {
 			p.startRound(k, in)
 		}
@@ -189,7 +197,22 @@ func (p *Paxos) onP1a(from types.ReplicaID, m *msg.P1a) {
 // onP1b handles a promise (proposer).
 func (p *Paxos) onP1b(from types.ReplicaID, m *msg.P1b) {
 	in := p.inst(m.Instance)
-	if in.decided || !in.proposing || m.Ballot != in.ballot || in.phase2Sent {
+	if in.decided || !in.proposing {
+		return
+	}
+	if m.Ballot > in.ballot {
+		// NACK: the acceptor promised a higher ballot. Fast-forward our
+		// attempt counter past it instead of inching up one ballot per
+		// retry — a proposer that restarts with attempt 0 against
+		// acceptors that promised a large ballot (e.g. after a livelocked
+		// duel) would otherwise take thousands of retries to catch up.
+		attempt := int(m.Ballot / uint64(len(p.peers)))
+		if attempt+1 > in.attempt {
+			in.attempt = attempt + 1
+		}
+		return
+	}
+	if m.Ballot != in.ballot || in.phase2Sent {
 		return
 	}
 	in.p1bs[from] = m
@@ -264,6 +287,17 @@ func (p *Paxos) onLearn(m *msg.Learn) {
 	if p.onDecide != nil {
 		p.onDecide(m.Instance, m.Value)
 	}
+}
+
+// DebugInstance renders instance k's acceptor/proposer state for test
+// diagnostics. Must be called from the owning replica's event loop.
+func (p *Paxos) DebugInstance(k uint64) string {
+	in, ok := p.instances[k]
+	if !ok {
+		return fmt.Sprintf("i%d: none", k)
+	}
+	return fmt.Sprintf("i%d: promised=%d accepted=%d decided=%t proposing=%t ballot=%d attempt=%d p1bs=%d p2bs=%d p2sent=%t",
+		k, in.promised, in.acceptedBallot, in.decided, in.proposing, in.ballot, in.attempt, len(in.p1bs), len(in.p2bs), in.phase2Sent)
 }
 
 // reply routes a message back to its sender, short-circuiting self.

@@ -21,6 +21,11 @@ type reconfigInit struct {
 	okMask  uint64
 	cmds    map[types.Timestamp]types.Command
 	propose bool
+	// Best snapshot shipped with a SUSPENDOK: a responder that compacted
+	// part of the (cts, ∞) range cannot return those commands, so the
+	// initiator restores the snapshot before applying its own decision.
+	snap   []byte
+	snapTS types.Timestamp
 }
 
 // decision is a decoded consensus outcome (Alg. 3 line 11).
@@ -29,6 +34,16 @@ type decision struct {
 	cfg   []types.ReplicaID
 	ts    types.Timestamp
 	cmds  []msg.TimestampedCommand
+	// snapTS is the newest checkpoint timestamp among the SUSPENDOK
+	// responders (zero if none shipped a snapshot). The decision's cmds
+	// are complete only above snapTS: a responder whose checkpoint
+	// compacted part of (ts, snapTS] contributed a snapshot instead of
+	// those commands, and the snapshot travels only to the initiator.
+	// Every replica applying the decision with a commit frontier below
+	// snapTS must therefore catch up via state transfer — the transfer
+	// responders re-ship checkpoint + tail — or it would silently skip
+	// the compacted commands and diverge.
+	snapTS types.Timestamp
 }
 
 // stateTransfer tracks an in-progress STATETRANSFER (Alg. 3 lines
@@ -120,16 +135,37 @@ func (r *Replica) Rejoin() {
 func (r *Replica) onSuspend(from types.ReplicaID, m *msg.Suspend) {
 	if m.Epoch <= r.epoch {
 		// Stale attempt: the sender lags (e.g. it recovered after missing
-		// reconfigurations). Teach it the decision for that epoch so it
-		// can catch up and retry.
-		if v, ok := r.px.Decided(uint64(m.Epoch)); ok {
-			r.env.Send(from, &msg.Learn{Instance: uint64(m.Epoch), Value: v})
+		// reconfigurations). Teach it every decision from that epoch
+		// forward, so a replica that missed many reconfigurations catches
+		// up in one round instead of one epoch per retry.
+		for e := uint64(m.Epoch); ; e++ {
+			v, ok := r.px.Decided(e)
+			if !ok {
+				break
+			}
+			r.env.Send(from, &msg.Learn{Instance: e, Value: v})
 		}
 		return
 	}
 	r.suspended = true
-	cmds := r.env.Log().CommandsAfter(m.CTS)
-	r.env.Send(from, &msg.SuspendOK{Epoch: m.Epoch, Cmds: cmds})
+	ok := &msg.SuspendOK{Epoch: m.Epoch}
+	low := m.CTS
+	// A checkpoint newer than the requested baseline swallowed part of
+	// the range; the command list alone would silently omit those
+	// commands, so ship the snapshot covering them (Section V-B), as the
+	// state-transfer reply does.
+	if cpr, okc := r.env.Log().(storage.Checkpointer); okc {
+		if cp, okc := cpr.LastCheckpoint(); okc && m.CTS.Less(cp.TS) {
+			ok.HasSnap = true
+			ok.SnapTS = cp.TS
+			ok.Snap = cp.State
+			low = cp.TS
+		}
+	}
+	ok.Cmds = r.env.Log().CommandsAfter(low)
+	// The reply asserts our log's contents: the covering fsync first.
+	r.syncBarrier()
+	r.env.Send(from, ok)
 }
 
 // onSuspendOK collects SUSPENDOK replies (Alg. 3 line 5); once a
@@ -143,6 +179,10 @@ func (r *Replica) onSuspendOK(from types.ReplicaID, m *msg.SuspendOK) {
 	for _, tc := range m.Cmds {
 		r.rc.cmds[tc.TS] = tc.Cmd
 	}
+	if m.HasSnap && r.rc.snapTS.Less(m.SnapTS) {
+		r.rc.snap = m.Snap
+		r.rc.snapTS = m.SnapTS
+	}
 	r.maybePropose()
 }
 
@@ -155,7 +195,7 @@ func (r *Replica) maybePropose() {
 		return
 	}
 	r.rc.propose = true
-	val := encodeProposal(r.rc.cfg, r.rc.cts, sortedCmds(r.rc.cmds))
+	val := encodeProposal(r.rc.cfg, r.rc.cts, r.rc.snapTS, sortedCmds(r.rc.cmds))
 	r.px.Propose(uint64(r.rc.epoch), val)
 }
 
@@ -193,23 +233,45 @@ func (r *Replica) drainDecisions() {
 // transfer must complete first.
 func (r *Replica) beginApply(d *decision) bool {
 	r.suspended = true
+	// If this replica initiated the reconfiguration and a SUSPENDOK
+	// shipped a snapshot ahead of our commit frontier, restore it before
+	// measuring the lag: the responders' checkpoints swallowed commands
+	// the decision's list cannot carry, and the snapshot covers them.
+	if r.rc != nil && r.rc.epoch == d.epoch && r.rc.snap != nil && r.env.Log().LastCommitTS().Less(r.rc.snapTS) {
+		if restored, err := r.app.TryRestore(r.rc.snap); err == nil && restored {
+			if cpr, ok := r.env.Log().(storage.Checkpointer); ok {
+				cpr.WriteCheckpoint(storage.Checkpoint{TS: r.rc.snapTS, State: r.rc.snap})
+			}
+			r.committed++
+			r.snapRestores.Add(1)
+		}
+	}
 	cts := r.env.Log().LastCommitTS()
-	if cts.Less(d.ts) {
+	// The decision's command list is complete only above d.snapTS (see
+	// decision.snapTS): a frontier below that must be repaired by state
+	// transfer even when it already covers the decision baseline d.ts,
+	// or the commands a responder's checkpoint compacted would be
+	// skipped here and executed elsewhere — diverging histories.
+	need := d.ts
+	if need.Less(d.snapTS) {
+		need = d.snapTS
+	}
+	if cts.Less(need) {
 		// This replica lags behind the decision baseline: fetch committed
-		// commands in (cts, d.ts] from a majority (Alg. 3 lines 13-14).
+		// commands in (cts, need] from a majority (Alg. 3 lines 13-14).
 		r.st = &stateTransfer{
 			epoch: d.epoch,
 			dec:   d,
 			from:  cts,
-			to:    d.ts,
+			to:    need,
 			cmds:  make(map[types.Timestamp]types.Command),
 		}
 		// Our own log answers immediately.
 		r.st.okMask |= 1 << uint(r.env.ID())
-		for _, tc := range r.env.Log().CommandsBetween(cts, d.ts) {
+		for _, tc := range r.env.Log().CommandsBetween(cts, need) {
 			r.st.cmds[tc.TS] = tc.Cmd
 		}
-		req := &msg.RetrieveCmds{From: cts, To: d.ts}
+		req := &msg.RetrieveCmds{From: cts, To: need}
 		for _, k := range r.spec {
 			if k != r.env.ID() {
 				r.env.Send(k, req)
@@ -225,11 +287,23 @@ func (r *Replica) beginApply(d *decision) bool {
 	return true
 }
 
+// catchupSnapshotThreshold is the tail length above which a
+// state-transfer responder takes an on-demand checkpoint so catch-up
+// ships snapshot + short tail instead of a long command replay. A
+// variable so tests can lower it.
+var catchupSnapshotThreshold = 256
+
 // onRetrieveCmds serves a state-transfer request (Alg. 3 lines 29-31).
 // Served regardless of suspension or epoch: logs are stable. If part of
 // the requested range was compacted into a checkpoint, the snapshot is
-// shipped along with the commands above it.
+// shipped along with the commands above it; if the requester is far
+// behind and no checkpoint covers the gap yet, one is taken on demand,
+// so a lagging or restarted replica always catches up via checkpoint +
+// tail rather than replaying history since genesis.
 func (r *Replica) onRetrieveCmds(from types.ReplicaID, m *msg.RetrieveCmds) {
+	if r.shouldSnapshotFor(m.From) {
+		r.checkpointNow()
+	}
 	reply := &msg.RetrieveReply{Seq: uint64(r.epoch)}
 	low := m.From
 	if cpr, ok := r.env.Log().(storage.Checkpointer); ok {
@@ -245,7 +319,52 @@ func (r *Replica) onRetrieveCmds(from types.ReplicaID, m *msg.RetrieveCmds) {
 		}
 	}
 	reply.Cmds = r.env.Log().CommandsBetween(low, m.To)
+	// The reply asserts our log's contents: the covering fsync first.
+	r.syncBarrier()
 	r.env.Send(from, reply)
+}
+
+// shouldSnapshotFor reports whether serving a transfer from baseline
+// `from` warrants an on-demand checkpoint: checkpointing is enabled,
+// the application supports snapshots, no existing checkpoint already
+// covers part of the gap, and the committed tail above the baseline is
+// long. Gated on CheckpointEvery so a cluster that never opted into
+// checkpointing keeps pure command-replay catch-up — every replica
+// executes every command individually — instead of being silently
+// switched to snapshot semantics by one slow transfer.
+func (r *Replica) shouldSnapshotFor(from types.Timestamp) bool {
+	if r.opts.CheckpointEvery <= 0 {
+		return false
+	}
+	cpr, ok := r.env.Log().(storage.Checkpointer)
+	if !ok {
+		return false
+	}
+	if cp, ok := cpr.LastCheckpoint(); ok && from.Less(cp.TS) {
+		return false // existing checkpoint already covers the gap
+	}
+	if !from.Less(r.lastCommitted) {
+		return false // nothing committed beyond the requester
+	}
+	return len(r.env.Log().CommandsBetween(from, r.lastCommitted)) >= catchupSnapshotThreshold
+}
+
+// checkpointNow takes an immediate snapshot at the commit frontier and
+// compacts the log through it. Best-effort, like maybeCheckpoint.
+func (r *Replica) checkpointNow() {
+	cpr, ok := r.env.Log().(storage.Checkpointer)
+	if !ok {
+		return
+	}
+	state, ok := r.app.TrySnapshot()
+	if !ok {
+		return
+	}
+	if err := cpr.WriteCheckpoint(storage.Checkpoint{TS: r.lastCommitted, State: state}); err != nil {
+		return
+	}
+	r.sinceCheckpoint = 0
+	r.checkpoints++
 }
 
 // onRetrieveReply collects state-transfer responses until a majority of
@@ -277,6 +396,7 @@ func (r *Replica) onRetrieveReply(from types.ReplicaID, m *msg.RetrieveReply) {
 					cpr.WriteCheckpoint(storage.Checkpoint{TS: st.snapTS, State: st.snap})
 				}
 				r.committed++
+				r.snapRestores.Add(1)
 			}
 		}
 		r.finishApply(st.dec, sortedCmds(st.cmds))
@@ -357,6 +477,9 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 	if r.lastCommitted.Less(cts) {
 		r.lastCommitted = cts
 	}
+	// Make the applied commands durable before resuming: the epoch
+	// install implicitly asserts them to every peer we speak to next.
+	r.syncBarrier()
 
 	// Lines 21-24: install epoch and configuration, resize LatestTV.
 	r.epoch = d.epoch
@@ -401,6 +524,16 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 		}
 	}
 
+	// Held-buffer overflow while this epoch was pending may have opened
+	// a gap in our history; force a Rejoin, whose reconfiguration and
+	// state transfer (checkpoint + tail) repair it.
+	if r.needCatchup {
+		r.needCatchup = false
+		if !r.rejoining {
+			r.env.After(0, r.Rejoin)
+		}
+	}
+
 	// Notify last, after replies for decided commands went out: the
 	// listener observes the installed view and exactly the local commands
 	// this reconfiguration lost.
@@ -431,7 +564,7 @@ var errBadProposal = errors.New("core: malformed reconfiguration proposal")
 
 // encodeProposal serializes (confignew, cts, cmds) for the consensus
 // value (Alg. 3 line 6).
-func encodeProposal(cfg []types.ReplicaID, cts types.Timestamp, cmds []msg.TimestampedCommand) []byte {
+func encodeProposal(cfg []types.ReplicaID, cts, snapTS types.Timestamp, cmds []msg.TimestampedCommand) []byte {
 	b := make([]byte, 0, 64)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(cfg)))
 	for _, k := range cfg {
@@ -439,6 +572,8 @@ func encodeProposal(cfg []types.ReplicaID, cts types.Timestamp, cmds []msg.Times
 	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(cts.Wall))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(cts.Node)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(snapTS.Wall))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(snapTS.Node)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(cmds)))
 	for _, tc := range cmds {
 		b = binary.LittleEndian.AppendUint64(b, uint64(tc.TS.Wall))
@@ -487,6 +622,12 @@ func decodeProposal(b []byte) (*decision, error) {
 		return nil, errBadProposal
 	}
 	d.ts = types.Timestamp{Wall: int64(wall), Node: types.ReplicaID(int32(node))}
+	swall, ok1 := u64()
+	snode, ok2 := u32()
+	if !ok1 || !ok2 {
+		return nil, errBadProposal
+	}
+	d.snapTS = types.Timestamp{Wall: int64(swall), Node: types.ReplicaID(int32(snode))}
 	cn, ok := u32()
 	if !ok {
 		return nil, errBadProposal

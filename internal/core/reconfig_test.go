@@ -194,7 +194,8 @@ func TestProposalEncodingRoundTrip(t *testing.T) {
 		{Wall: 1000, Node: 0}: cmds[0],
 		{Wall: 1001, Node: 2}: cmds[1],
 	}
-	val := encodeProposal(cfg, cts, sortedCmds(m))
+	snapTS := types.Timestamp{Wall: 1005, Node: 2}
+	val := encodeProposal(cfg, cts, snapTS, sortedCmds(m))
 	d, err := decodeProposal(val)
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +205,9 @@ func TestProposalEncodingRoundTrip(t *testing.T) {
 	}
 	if d.ts != cts {
 		t.Errorf("cts = %v", d.ts)
+	}
+	if d.snapTS != snapTS {
+		t.Errorf("snapTS = %v", d.snapTS)
 	}
 	if len(d.cmds) != 2 || d.cmds[0].TS.Wall != 1000 || d.cmds[1].TS.Wall != 1001 {
 		t.Errorf("cmds = %+v", d.cmds)

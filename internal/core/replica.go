@@ -3,9 +3,23 @@
 // commands with loosely synchronized physical clocks (Algorithm 1), the
 // periodic clock-time broadcast extension (Algorithm 2), and the
 // reconfiguration and recovery protocols (Algorithm 3, Section V).
+//
+// Durability and recovery (Section V-B): every PREPARE and COMMIT mark
+// is appended to the replica's stable log before the message
+// acknowledging it leaves — under group commit (storage.SyncBatch) one
+// covering fsync per event-loop batch turn enforces that barrier. A
+// replica restarted with Options.Replay restores the newest checkpoint,
+// replays only the committed tail, and clamps its duplicate-kill
+// frontier to the checkpoint so acknowledged commands never re-execute.
+// Catch-up — state transfer during reconfiguration, and Rejoin for a
+// restarted or removed replica — ships checkpoint + log tail from
+// peers, never full history; with checkpointing enabled a transfer
+// responder takes a snapshot on demand when a long gap has no covering
+// checkpoint yet.
 package core
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -50,6 +64,14 @@ type Replica struct {
 	env  rsm.Env
 	app  *rsm.App
 	opts Options
+
+	// syncer is the log's group-commit hook, when the log provides one
+	// (storage.SyncMode batch). syncBarrier invokes it before any
+	// protocol message asserting log contents leaves the replica: a
+	// PREPARE or PREPAREOK doubles as a durable-logging acknowledgement
+	// (Alg. 1), so the covering fsync must precede the send. Nil when
+	// the log syncs per append or durability is off.
+	syncer storage.Syncer
 
 	spec     []types.ReplicaID
 	epoch    types.Epoch
@@ -101,6 +123,15 @@ type Replica struct {
 	// is atomic so node.Status can surface it without crossing the
 	// event loop.
 	heldDropped atomic.Uint64
+	// needCatchup is set when held-buffer overflow may have left a gap
+	// in this replica's history; the next reconfiguration install
+	// schedules a Rejoin, whose state transfer (checkpoint + tail)
+	// repairs the gap instead of leaving silent divergence.
+	needCatchup bool
+	// snapRestores counts state-machine restores from a peer's shipped
+	// snapshot (checkpoint + tail catch-up, as opposed to full-log
+	// replay); atomic so tests and status can read it cross-goroutine.
+	snapRestores atomic.Uint64
 	// held buffers PREPARE / PREPAREOK / CLOCKTIME messages that arrive
 	// tagged with a future epoch: the sender installed a reconfiguration
 	// decision this replica has not applied yet. Dropping them instead
@@ -169,6 +200,7 @@ func New(env rsm.Env, app *rsm.App, opts Options) *Replica {
 		r.inConfig[id] = true
 	}
 	r.px = consensus.New(env.ID(), spec, env, opts.ConsensusRetry, r.onDecide)
+	r.syncer, _ = env.Log().(storage.Syncer)
 	if opts.Replay {
 		// Restore the latest checkpoint, if any, then replay the tail
 		// (Section V-B).
@@ -185,8 +217,31 @@ func New(env rsm.Env, app *rsm.App, opts Options) *Replica {
 			r.committed++
 			r.lastCommitted = tc.TS
 		}
+		// The duplicate-kill frontier must cover the restored checkpoint
+		// too, not only the replayed tail: with an empty tail, a late
+		// duplicate PREPARE at or below the checkpoint would otherwise
+		// slip past the lastCommitted guard and re-execute an already
+		// acknowledged command.
+		if lct := env.Log().LastCommitTS(); r.lastCommitted.Less(lct) {
+			r.lastCommitted = lct
+		}
 	}
 	return r
+}
+
+// syncBarrier makes every append so far durable (group commit). It is
+// invoked before any outgoing protocol message that acknowledges log
+// contents. An fsync failure is fatal: the log's durability promise is
+// broken in an unknowable way (pages may have been dropped), so the
+// replica must crash and recover from the log rather than ack on top of
+// it — the recovery error contract documented in the README.
+func (r *Replica) syncBarrier() {
+	if r.syncer == nil {
+		return
+	}
+	if err := r.syncer.Sync(); err != nil {
+		panic("core: WAL fsync failed, cannot guarantee acked durability: " + err.Error())
+	}
 }
 
 // Start installs the periodic timers (Algorithm 2 broadcast and failure
@@ -245,6 +300,28 @@ func (r *Replica) Committed() uint64 { return r.committed }
 // gap only a state transfer can close; see maxHeld. Safe to call from
 // any goroutine.
 func (r *Replica) HeldDropped() uint64 { return r.heldDropped.Load() }
+
+// SnapRestores returns how many times this replica restored its state
+// machine from a peer's shipped snapshot (checkpoint + tail catch-up).
+// Safe to call from any goroutine.
+func (r *Replica) SnapRestores() uint64 { return r.snapRestores.Load() }
+
+// DebugReconfig renders the reconfiguration machinery's state for test
+// diagnostics. Must be called on the event loop (e.g. via node.Node.Do).
+func (r *Replica) DebugReconfig() string {
+	s := fmt.Sprintf("epoch=%d cfg=%v suspended=%t rejoining=%t target=%d", r.epoch, r.config, r.suspended, r.rejoining, r.rejoinTarget)
+	if r.rc != nil {
+		s += fmt.Sprintf(" rc=(e=%d propose=%t ok=%b cfg=%v)", r.rc.epoch, r.rc.propose, r.rc.okMask, r.rc.cfg)
+	}
+	if r.st != nil {
+		s += fmt.Sprintf(" st=(e=%d applied=%t ok=%b)", r.st.epoch, r.st.applied, r.st.okMask)
+	}
+	if len(r.stashed) > 0 {
+		s += fmt.Sprintf(" stashed=%d", len(r.stashed))
+	}
+	s += " px[" + r.px.DebugInstance(uint64(r.epoch+1)) + "]"
+	return s
+}
 
 // Waits returns how many times the Algorithm 1 line-8 wait actually had
 // to block (expected to be rare with reasonable clock skew).
@@ -332,27 +409,35 @@ func (r *Replica) EndBatch() {
 }
 
 // broadcast sends m to the configuration, or buffers it for one
-// coalesced send at the end of the current batch turn.
+// coalesced send at the end of the current batch turn. The durability
+// barrier precedes the send: a PREPARE is the sender's implicit logging
+// ack and a PREPAREOK an explicit one, so the appends they assert must
+// be on disk before either leaves.
 func (r *Replica) broadcast(m msg.Message) {
 	if r.inBatch {
 		r.outBuf = append(r.outBuf, m)
 		return
 	}
+	r.syncBarrier()
 	rsm.Broadcast(r.env, r.config, m)
 }
 
 // flushOut broadcasts the output buffered during a batch turn: a burst
 // of messages leaves as a single msg.Batch — one encode, one frame —
-// preserving their order on every link.
+// preserving their order on every link. One covering fsync (group
+// commit) precedes the flush, making every append of the turn durable
+// before the acknowledgements for them leave.
 func (r *Replica) flushOut() {
 	switch len(r.outBuf) {
 	case 0:
 		return
 	case 1:
+		r.syncBarrier()
 		rsm.Broadcast(r.env, r.config, r.outBuf[0])
 	default:
 		packed := make([]msg.Message, len(r.outBuf))
 		copy(packed, r.outBuf)
+		r.syncBarrier()
 		rsm.Broadcast(r.env, r.config, &msg.Batch{Msgs: packed})
 	}
 	for i := range r.outBuf {
@@ -373,13 +458,18 @@ type heldMsg struct {
 // so the cap is a backstop, not a working limit.
 const maxHeld = 1 << 16
 
-// hold parks a future-epoch message for redelivery at install.
+// hold parks a future-epoch message for redelivery at install. On
+// overflow the oldest message is dropped and the replica marks itself
+// for catch-up: the next install schedules a Rejoin whose state
+// transfer repairs the gap the drop may have opened (state transfer on
+// overflow, instead of silent permanent divergence).
 func (r *Replica) hold(epoch types.Epoch, from types.ReplicaID, m msg.Message) {
 	if len(r.held) >= maxHeld {
 		copy(r.held, r.held[1:])
 		r.held[len(r.held)-1] = heldMsg{}
 		r.held = r.held[:len(r.held)-1]
 		r.heldDropped.Add(1)
+		r.needCatchup = true
 	}
 	r.held = append(r.held, heldMsg{epoch: epoch, from: from, m: m})
 }

@@ -369,10 +369,17 @@ func (m *Suspend) decode(b []byte) ([]byte, error) {
 }
 
 // SuspendOK returns all logged commands with timestamps greater than the
-// SUSPEND's cts: 〈SUSPENDOK e, cmds〉 (Alg. 3 line 10).
+// SUSPEND's cts: 〈SUSPENDOK e, cmds〉 (Alg. 3 line 10). When the
+// responder has compacted part of that range into a checkpoint
+// (Section V-B), the command list alone would be incomplete; it then
+// also ships the snapshot covering every command up to SnapTS, exactly
+// as RetrieveReply does for state transfer.
 type SuspendOK struct {
-	Epoch types.Epoch
-	Cmds  []TimestampedCommand
+	Epoch   types.Epoch
+	Cmds    []TimestampedCommand
+	HasSnap bool
+	SnapTS  types.Timestamp
+	Snap    []byte
 }
 
 var _ Message = (*SuspendOK)(nil)
@@ -382,7 +389,15 @@ func (*SuspendOK) Type() Type { return TSuspendOK }
 
 func (m *SuspendOK) appendTo(b []byte) []byte {
 	b = putU64(b, uint64(m.Epoch))
-	return putTSCmds(b, m.Cmds)
+	b = putTSCmds(b, m.Cmds)
+	if m.HasSnap {
+		b = append(b, 1)
+		b = putTS(b, m.SnapTS)
+		b = putBytes(b, m.Snap)
+	} else {
+		b = append(b, 0)
+	}
+	return b
 }
 
 func (m *SuspendOK) decode(b []byte) ([]byte, error) {
@@ -392,7 +407,25 @@ func (m *SuspendOK) decode(b []byte) ([]byte, error) {
 	}
 	m.Epoch = types.Epoch(e)
 	m.Cmds, b, err = getTSCmds(b)
-	return b, err
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	m.HasSnap = b[0] == 1
+	b = b[1:]
+	if m.HasSnap {
+		m.SnapTS, b, err = getTS(b)
+		if err != nil {
+			return nil, err
+		}
+		m.Snap, b, err = getBytes(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // RetrieveCmds requests all logged commands with timestamps in

@@ -9,6 +9,7 @@ import (
 
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/stats"
+	"clockrsm/internal/storage"
 	"clockrsm/internal/types"
 )
 
@@ -38,6 +39,9 @@ var (
 	// commit quorum is a majority of Spec, so a smaller configuration
 	// could never commit).
 	ErrBadConfig = errors.New("node: invalid configuration")
+	// ErrNotRejoinable reports that the protocol bound to the node has no
+	// recovery entry point (it does not implement rsm.Rejoiner).
+	ErrNotRejoinable = errors.New("node: protocol does not support rejoin")
 )
 
 // latRingSize bounds the sampled commit-latency ring.
@@ -55,6 +59,14 @@ const latSampleMask = 15
 // must be safe to call from any goroutine.
 type heldReporter interface {
 	HeldDropped() uint64
+}
+
+// snapReporter is implemented by protocols that can catch up from a
+// peer's shipped snapshot (core.Replica): the count tells operators —
+// and the crash-churn harness — that a recovery went through checkpoint
+// + tail transfer rather than full-log replay. Safe from any goroutine.
+type snapReporter interface {
+	SnapRestores() uint64
 }
 
 // confWaiter is one pending Reconfigure: its future resolves when the
@@ -108,6 +120,15 @@ type GroupStatus struct {
 	// hold-buffer overflow. Non-zero means this replica may have a
 	// history gap only a state transfer can close (see core.Replica).
 	HeldDropped uint64
+	// SnapRestores counts state-machine restores from a peer's shipped
+	// snapshot: catch-ups that went through checkpoint + tail transfer
+	// instead of full-log replay.
+	SnapRestores uint64
+	// FsyncMode names the stable log's fsync policy ("always", "batch",
+	// "off"), empty when the log does not report one (memory logs); Log
+	// carries its append/fsync counters.
+	FsyncMode string
+	Log       storage.LogStats
 }
 
 // Epoch returns the configuration epoch this node has installed. It is
@@ -160,6 +181,13 @@ func (n *Node) Status() GroupStatus {
 	if n.heldRep != nil {
 		st.HeldDropped = n.heldRep.HeldDropped()
 	}
+	if n.snapRep != nil {
+		st.SnapRestores = n.snapRep.SnapRestores()
+	}
+	if sr, ok := n.log.(storage.StatsReporter); ok {
+		st.FsyncMode = sr.Mode().String()
+		st.Log = sr.Stats()
+	}
 	if v := n.view.Load(); v != nil {
 		st.Epoch = v.Epoch
 		st.Members = append([]types.ReplicaID(nil), v.Members...)
@@ -204,6 +232,24 @@ func (n *Node) Reconfigure(ctx context.Context, members []types.ReplicaID) (*Fut
 		return nil, ErrStopped
 	}
 	return f, nil
+}
+
+// Rejoin asks a replica restarted from its stable log to force itself
+// back into the configuration: the protocol proposes a reconfiguration
+// to a strictly newer epoch including itself, learning missed epochs
+// and fetching missed history (checkpoint + tail) along the way. The
+// call is asynchronous and self-retrying; observe progress via Status
+// (Epoch advancing, InConfig true). Harmless when the replica is
+// already current.
+func (n *Node) Rejoin() error {
+	rj, ok := n.proto.(rsm.Rejoiner)
+	if !ok {
+		return ErrNotRejoinable
+	}
+	if !n.enqueue(event{fn: rj.Rejoin}) {
+		return ErrStopped
+	}
+	return nil
 }
 
 // execReconfigure runs on the event loop: it registers the epoch

@@ -140,6 +140,9 @@ type Node struct {
 	// heldRep reports the protocol's future-epoch hold-buffer drops
 	// (core.Replica.HeldDropped) for Status; nil when unsupported.
 	heldRep heldReporter
+	// snapRep reports the protocol's snapshot catch-ups
+	// (core.Replica.SnapRestores) for Status; nil when unsupported.
+	snapRep snapReporter
 
 	// Control-plane state (see admin.go). recon is the protocol's
 	// reconfiguration interface (nil for fixed-membership protocols);
@@ -324,6 +327,7 @@ func (n *Node) SetProtocol(p rsm.Protocol) {
 	n.proto = p
 	n.sr, _ = p.(rsm.StateReader)
 	n.heldRep, _ = p.(heldReporter)
+	n.snapRep, _ = p.(snapReporter)
 }
 
 // Protocol returns the bound protocol.

@@ -24,6 +24,16 @@ type ConfigEvent struct {
 	Dropped []types.CommandID
 }
 
+// Rejoiner is implemented by protocols with a recovery entry point: a
+// replica restarted from its stable log calls Rejoin to force a
+// reconfiguration that puts it back into the configuration, catching up
+// on missed epochs and history (checkpoint + tail state transfer) along
+// the way (core.Replica.Rejoin). Must be invoked on the event loop; the
+// call is asynchronous and self-retrying.
+type Rejoiner interface {
+	Rejoin()
+}
+
 // Reconfigurable is implemented by protocols that support membership
 // change as a first-class operation (Clock-RSM's Algorithm 3). Like
 // every Protocol method, all three must be invoked on the event loop;

@@ -43,6 +43,11 @@ type ThroughputConfig struct {
 	PayloadSize int
 	Warmup      time.Duration
 	Duration    time.Duration
+	// NewLog overrides each replica's per-group stable log. Default is
+	// NullLog (the paper logs to main memory with recovery out of
+	// scope); the durability A/B in BENCH_6.json passes file logs here
+	// to price fsync=batch against fsync=off on the same hot path.
+	NewLog func(types.ReplicaID, types.GroupID) storage.Log
 }
 
 // withDefaults fills reasonable defaults for unset fields.
@@ -126,15 +131,21 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	var completed atomic.Uint64
 	var measuring atomic.Bool
 
+	// The paper's throughput runs log to main memory with recovery out
+	// of scope; NullLog keeps long saturation runs from accumulating
+	// unbounded history (memory pressure would otherwise dominate).
+	newLog := cfg.NewLog
+	if newLog == nil {
+		newLog = func(types.ReplicaID, types.GroupID) storage.Log { return storage.NewNullLog() }
+	}
+
 	hosts := make([]*node.Host, n)
 	for i := 0; i < n; i++ {
-		// The paper's throughput runs log to main memory with recovery out
-		// of scope; NullLog keeps long saturation runs from accumulating
-		// unbounded history (memory pressure would otherwise dominate).
-		host, err := node.NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.HostOptions{
+		id := types.ReplicaID(i)
+		host, err := node.NewHost(id, spec, hub.Endpoint(id), node.HostOptions{
 			Groups:      cfg.Groups,
 			SubmitBatch: cfg.ClientBatch,
-			NewLog:      func(types.GroupID) storage.Log { return storage.NewNullLog() },
+			NewLog:      func(g types.GroupID) storage.Log { return newLog(id, g) },
 		})
 		if err != nil {
 			return nil, err

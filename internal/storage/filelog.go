@@ -51,26 +51,116 @@ func decodeCheckpoint(b []byte) (Checkpoint, error) {
 // standard write-ahead-log recovery behaviour.
 var ErrCorruptLog = errors.New("storage: corrupt log file")
 
+// SyncMode selects when a FileLog forces appended records to stable
+// storage.
+type SyncMode int
+
+const (
+	// SyncDefault derives the mode from the legacy Sync flag: true maps
+	// to SyncAlways, false to SyncOff.
+	SyncDefault SyncMode = iota
+	// SyncAlways fsyncs after every append: maximum durability, one disk
+	// flush per log record.
+	SyncAlways
+	// SyncBatch buffers appends and fsyncs only at Sync() — group
+	// commit. The caller decides where the durability barrier sits (the
+	// replica core places it at the end of each event-loop batch, before
+	// any protocol message acknowledging the appends leaves the node).
+	SyncBatch
+	// SyncOff never fsyncs; records reach the OS on every append but
+	// survive only process crashes, not machine crashes.
+	SyncOff
+)
+
+// String names the mode as accepted by ParseSyncMode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncOff:
+		return "off"
+	default:
+		return "default"
+	}
+}
+
+// ParseSyncMode parses "always", "batch" or "off" (the kvserver -fsync
+// flag values).
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return SyncDefault, fmt.Errorf("unknown fsync mode %q (want always, batch or off)", s)
+	}
+}
+
+// Syncer is implemented by logs that support group commit: Append
+// buffers, Sync makes everything appended so far durable. The replica
+// core detects this interface and calls Sync before releasing any
+// protocol message that acknowledges the buffered appends.
+type Syncer interface {
+	Sync() error
+}
+
+// LogStats counts WAL activity, in the style of transport.WireStats.
+type LogStats struct {
+	// Appends is the number of records appended.
+	Appends uint64
+	// Syncs is the number of fsyncs issued (per-append in SyncAlways,
+	// per-barrier in SyncBatch, plus one per atomic rewrite).
+	Syncs uint64
+	// LastBatch and MaxBatch are the number of appends covered by the
+	// most recent / largest single group-commit fsync.
+	LastBatch uint64
+	MaxBatch  uint64
+}
+
+// StatsReporter is implemented by logs that expose WAL counters.
+type StatsReporter interface {
+	Stats() LogStats
+	// Mode reports the effective sync mode.
+	Mode() SyncMode
+}
+
 // FileLog is a file-backed Log. Entries are kept in an in-memory MemLog
 // for queries; Append writes a framed record to the file before updating
-// memory, so a crash never loses an acknowledged entry (when Sync is
-// enabled) and recovery reads the file back.
+// memory, so a crash never loses an acknowledged entry (in SyncAlways
+// mode, or after the covering Sync in SyncBatch mode) and recovery reads
+// the file back.
 type FileLog struct {
 	mu   sync.Mutex
 	mem  *MemLog
 	f    *os.File
 	w    *bufio.Writer
-	sync bool
+	mode SyncMode
 	path string
+
+	// dirty counts appends not yet covered by an fsync (SyncBatch mode).
+	dirty uint64
+	stats LogStats
 }
 
-var _ Log = (*FileLog)(nil)
+var (
+	_ Log           = (*FileLog)(nil)
+	_ Syncer        = (*FileLog)(nil)
+	_ StatsReporter = (*FileLog)(nil)
+)
 
 // FileLogOptions configure OpenFileLog.
 type FileLogOptions struct {
-	// Sync forces an fsync after every append. The paper's analysis
-	// ignores disk latency; tests enable this to exercise the code path.
+	// Sync forces an fsync after every append. Deprecated shorthand for
+	// Mode: SyncAlways; consulted only when Mode is SyncDefault.
 	Sync bool
+	// Mode selects the fsync policy. SyncDefault falls back to the Sync
+	// flag (true → SyncAlways, false → SyncOff).
+	Mode SyncMode
 }
 
 // OpenFileLog opens (or creates) the log file at path and loads all
@@ -80,7 +170,15 @@ func OpenFileLog(path string, opts FileLogOptions) (*FileLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open log: %w", err)
 	}
-	l := &FileLog{mem: NewMemLog(), f: f, sync: opts.Sync, path: path}
+	mode := opts.Mode
+	if mode == SyncDefault {
+		if opts.Sync {
+			mode = SyncAlways
+		} else {
+			mode = SyncOff
+		}
+	}
+	l := &FileLog{mem: NewMemLog(), f: f, mode: mode, path: path}
 	validLen, err := l.load()
 	if err != nil {
 		f.Close()
@@ -110,8 +208,15 @@ func (l *FileLog) load() (int64, error) {
 
 	var magic [4]byte
 	n, err := io.ReadFull(r, magic[:])
-	if err == io.EOF {
-		// Empty file: write the header.
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// Empty file, or a header torn by a crash during creation:
+		// rewrite it from scratch.
+		if err := l.f.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return 0, err
+		}
 		if _, err := l.f.Write(fileMagic[:]); err != nil {
 			return 0, err
 		}
@@ -202,7 +307,10 @@ func decodeEntry(b []byte) (Entry, error) {
 	return e, nil
 }
 
-// Append implements Log.
+// Append implements Log. In SyncAlways mode the record is flushed and
+// fsynced before Append returns; in SyncBatch mode it is buffered until
+// the next Sync (group commit); in SyncOff mode it is flushed to the OS
+// but never fsynced.
 func (l *FileLog) Append(e Entry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -215,15 +323,75 @@ func (l *FileLog) Append(e Entry) error {
 	if _, err := l.w.Write(rec); err != nil {
 		return fmt.Errorf("append log: %w", err)
 	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("flush log: %w", err)
-	}
-	if l.sync {
+	l.stats.Appends++
+	switch l.mode {
+	case SyncBatch:
+		// Leave the record in the bufio buffer; the covering fsync —
+		// and even the write syscall — happen at Sync.
+		l.dirty++
+	case SyncAlways:
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("flush log: %w", err)
+		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("sync log: %w", err)
 		}
+		l.stats.Syncs++
+		l.stats.LastBatch = 1
+		if l.stats.MaxBatch < 1 {
+			l.stats.MaxBatch = 1
+		}
+	default: // SyncOff
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("flush log: %w", err)
+		}
 	}
 	return l.mem.Append(e)
+}
+
+// Sync implements Syncer: in SyncBatch mode it flushes and fsyncs all
+// appends since the previous Sync (one disk flush covering the whole
+// batch). In the other modes — where Append already provides the
+// configured durability — it is a no-op. A clean log is also a no-op, so
+// callers may invoke it unconditionally as a barrier.
+func (l *FileLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLocked is Sync with l.mu held.
+func (l *FileLog) syncLocked() error {
+	if l.mode != SyncBatch || l.dirty == 0 {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("flush log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("sync log: %w", err)
+	}
+	l.stats.Syncs++
+	l.stats.LastBatch = l.dirty
+	if l.stats.MaxBatch < l.dirty {
+		l.stats.MaxBatch = l.dirty
+	}
+	l.dirty = 0
+	return nil
+}
+
+// Stats implements StatsReporter.
+func (l *FileLog) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Mode implements StatsReporter.
+func (l *FileLog) Mode() SyncMode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mode
 }
 
 // Len implements Log.
@@ -339,10 +507,21 @@ func (l *FileLog) rewrite() error {
 	}
 	l.f = nf
 	l.w = bufio.NewWriter(nf)
+	// The rewritten file was fsynced and carries every append, including
+	// any that were still buffered: the log is clean.
+	l.stats.Syncs++
+	if l.stats.LastBatch = l.dirty; l.dirty > 0 {
+		if l.stats.MaxBatch < l.dirty {
+			l.stats.MaxBatch = l.dirty
+		}
+	}
+	l.dirty = 0
 	return nil
 }
 
-// Close implements Log.
+// Close implements Log. Buffered appends are flushed to the OS but not
+// fsynced; a process that needs the group-commit guarantee must Sync
+// before Close.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -7,7 +7,19 @@
 //
 // Two implementations are provided: an in-memory log (the configuration
 // used for the paper's throughput experiments, which "log commands to
-// main memory") and a file-backed log used by the recovery tests.
+// main memory") and a file-backed write-ahead log (FileLog) for real
+// durability. FileLog supports three fsync policies (SyncMode): one
+// fsync per append (SyncAlways), group commit — appends buffer and one
+// covering Sync(), driven by the replica's event-loop batch turn,
+// makes them all durable before the acknowledgements for them leave
+// (SyncBatch) — or none (SyncOff). A failed fsync is unrecoverable by
+// contract: the kernel may have dropped the unwritten pages, so
+// callers must crash and re-open rather than ack on top of the log.
+// FileLog repairs torn tails on Open by truncating to the last valid
+// record (fuzz-verified at every byte offset in crash_test.go), and
+// compacts itself through checkpoints (Checkpointer): a state-machine
+// snapshot plus commit timestamp replaces every entry at or below it,
+// bounding both recovery replay and catch-up transfer cost.
 package storage
 
 import (

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"clockrsm/internal/types"
+)
+
+// benchWAL appends 100-byte PREPARE entries in the given mode; in
+// SyncBatch mode a Sync (group commit) covers every `batch` appends.
+// A periodic checkpoint bounds the in-memory mirror so long runs
+// measure append cost, not allocation pressure; it costs the same in
+// every mode.
+func benchWAL(b *testing.B, mode SyncMode, batch int) {
+	l, err := OpenFileLog(filepath.Join(b.TempDir(), "log"), FileLogOptions{Mode: mode})
+	if err != nil {
+		b.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	payload := make([]byte, 100)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := types.Timestamp{Wall: int64(i + 1), Node: 0}
+		if err := l.Append(Entry{Kind: KindPrepare, TS: ts, Cmd: types.Command{
+			ID:      types.CommandID{Origin: 0, Seq: uint64(i + 1)},
+			Payload: payload,
+		}}); err != nil {
+			b.Fatalf("append: %v", err)
+		}
+		if mode == SyncBatch && (i+1)%batch == 0 {
+			if err := l.Sync(); err != nil {
+				b.Fatalf("sync: %v", err)
+			}
+		}
+		if (i+1)%8192 == 0 {
+			if err := l.WriteCheckpoint(Checkpoint{TS: ts, State: []byte("s")}); err != nil {
+				b.Fatalf("checkpoint: %v", err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatalf("final sync: %v", err)
+	}
+}
+
+// BenchmarkWAL compares the fsync modes: always (one fsync per append),
+// group commit at batch sizes 1/8/64, and off (no fsync). Recorded in
+// BENCH_6.json; the acceptance bar is batch mode at event-loop batch
+// sizes recovering ≥80% of fsync=off throughput.
+func BenchmarkWAL(b *testing.B) {
+	b.Run("always", func(b *testing.B) { benchWAL(b, SyncAlways, 1) })
+	for _, n := range []int{1, 8, 64} {
+		n := n
+		b.Run(fmt.Sprintf("batch-%d", n), func(b *testing.B) { benchWAL(b, SyncBatch, n) })
+	}
+	b.Run("off", func(b *testing.B) { benchWAL(b, SyncOff, 1) })
+}
