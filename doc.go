@@ -44,9 +44,21 @@
 //     into one such frame.
 //   - Write coalescing: the TCP writeLoop drains its outbox in
 //     batches through a bufio.Writer — one flush (typically one
-//     syscall) covers a whole burst of frames — and the readLoop
-//     reuses a grow-only buffer, so steady-state framing allocates
-//     nothing on either side.
+//     syscall) covers a whole burst of frames, and it re-drains
+//     (yielding once when several groups share the endpoint) before
+//     flushing, so concurrent bursts from many groups to one peer
+//     merge into a single cross-group flush (Transport.Counters
+//     reports frames, flushes and multi-group flushes). The readLoop
+//     reuses a grow-only buffer with capped retention, so
+//     steady-state framing allocates nothing on either side.
+//   - Pooled decode: the receive path decodes hot-path message types
+//     (PREPARE, PREPAREOK, CLOCKTIME and Batch frames of them) into
+//     recycled msg.Record arenas — zero allocations per frame,
+//     asserted by testing.AllocsPerRun. Messages from
+//     msg.DecodeRecycled are valid until msg.Recycle(top) runs (the
+//     node event loop recycles after Deliver); components that retain
+//     data copy it, and rare message types stay heap-allocated so
+//     retaining them is always safe.
 //   - Inline ack tracking: the replication bitmask (RepCounter) lives
 //     inside each pending-set heap entry rather than in a parallel
 //     map, so recording an acknowledgement is one map lookup and a

@@ -1,0 +1,57 @@
+// BenchmarkGroupScaling is the multi-core scaling measurement behind
+// BENCH_7.json: aggregate committed ops/s of a five-replica cluster
+// sharded over 1/2/4 Clock-RSM groups, run over loopback TCP so the
+// numbers include the real wire path — per-peer write coalescing and
+// pooled zero-allocation decode. Sweep the GOMAXPROCS axis with the
+// standard -cpu flag (e.g. -cpu 1,4); each row also reports the wire
+// coalescing factor (frames per flush) and the number of flushes that
+// mixed frames from more than one group, the direct evidence that
+// concurrent groups share syscalls on the common connection.
+package clockrsm_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"clockrsm/internal/runner"
+)
+
+func runGroupScaling(b *testing.B, groups int, pinned bool) {
+	b.Helper()
+	var ops, factor, xg float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner.RunThroughput(runner.ThroughputConfig{
+			Protocol:    runner.ClockRSM,
+			PayloadSize: 100,
+			Groups:      groups,
+			Warmup:      300 * time.Millisecond,
+			Duration:    2 * time.Second,
+			TCP:         true,
+			PinGroups:   pinned,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.OpsPerSec
+		if res.Wire != nil && res.Wire.Flushes > 0 {
+			factor = float64(res.Wire.Frames) / float64(res.Wire.Flushes)
+			xg = float64(res.Wire.MultiGroupFlushes)
+		}
+	}
+	b.ReportMetric(ops, "ops/s")
+	b.ReportMetric(factor, "frames/flush")
+	b.ReportMetric(xg, "xgroup-flushes")
+}
+
+func BenchmarkGroupScaling(b *testing.B) {
+	// RSMBENCH_PIN=1 additionally pins each group's event loop to its
+	// own CPU (Linux): the affinity experiment of the sweep.
+	pinned := os.Getenv("RSMBENCH_PIN") == "1"
+	for _, g := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", g), func(b *testing.B) {
+			runGroupScaling(b, g, pinned)
+		})
+	}
+}

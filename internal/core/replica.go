@@ -471,7 +471,27 @@ func (r *Replica) hold(epoch types.Epoch, from types.ReplicaID, m msg.Message) {
 		r.heldDropped.Add(1)
 		r.needCatchup = true
 	}
-	r.held = append(r.held, heldMsg{epoch: epoch, from: from, m: m})
+	r.held = append(r.held, heldMsg{epoch: epoch, from: from, m: cloneHeld(m)})
+}
+
+// cloneHeld deep-copies a hot-path message before it is parked past the
+// end of its delivery: the original may live in pooled decode storage
+// (msg.DecodeRecycled) that is recycled when Deliver returns. Messages
+// of other types own their memory and are retained as-is.
+func cloneHeld(m msg.Message) msg.Message {
+	switch mm := m.(type) {
+	case *msg.Prepare:
+		c := *mm
+		c.Cmd.Payload = append([]byte(nil), mm.Cmd.Payload...)
+		return &c
+	case *msg.PrepareOK:
+		c := *mm
+		return &c
+	case *msg.ClockTime:
+		c := *mm
+		return &c
+	}
+	return m
 }
 
 // HeldLen returns the number of future-epoch messages parked for
@@ -555,18 +575,30 @@ func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
 			delete(r.earlyAcks, m.TS)
 		}
 	}
-	if !r.pending.Add(m.TS, m.Cmd, acks) {
+	// The PREPARE may be backed by pooled decode storage that is
+	// recycled when this delivery returns (msg.DecodeRecycled), so
+	// everything retained past this call — the command entering the
+	// pending set and the log, the timestamp captured by the wait
+	// closure below — is copied out of the message here.
+	ts := m.TS
+	cmd := m.Cmd
+	if len(cmd.Payload) > 0 {
+		cmd.Payload = append([]byte(nil), cmd.Payload...)
+	} else if cmd.Payload != nil {
+		cmd.Payload = []byte{}
+	}
+	if !r.pending.Add(ts, cmd, acks) {
 		return // duplicate delivery
 	}
-	r.observe(from, m.TS.Wall)
-	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: m.TS, Cmd: m.Cmd})
+	r.observe(from, ts.Wall)
+	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: ts, Cmd: cmd})
 	// Line 8: wait until ts < Clock. The local clock is strictly
 	// increasing, so with synchronized clocks the wait never blocks; a
 	// fast remote clock (skew) forces a short delay before
 	// acknowledging, preserving the promise that this replica never
 	// sends a timestamp smaller than one it acknowledged.
-	if r.env.Clock() > m.TS.Wall {
-		r.ackPrepare(m.TS)
+	if r.env.Clock() > ts.Wall {
+		r.ackPrepare(ts)
 		return
 	}
 	r.waits++
@@ -576,14 +608,14 @@ func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
 		if r.epoch != epoch || r.suspended {
 			return
 		}
-		if r.env.Clock() > m.TS.Wall {
-			r.ackPrepare(m.TS)
+		if r.env.Clock() > ts.Wall {
+			r.ackPrepare(ts)
 			r.tryCommit()
 			return
 		}
 		r.env.After(time.Microsecond, retry)
 	}
-	r.env.After(time.Duration(m.TS.Wall-r.env.Clock())+time.Microsecond, retry)
+	r.env.After(time.Duration(ts.Wall-r.env.Clock())+time.Microsecond, retry)
 }
 
 // ackPrepare logs locally done; broadcast 〈PREPAREOK ts, clockTs〉 to the

@@ -1,0 +1,48 @@
+//go:build linux
+
+// Package cpupin pins the calling OS thread to a single CPU. It exists
+// for the per-group event-loop pinning experiment: with one replication
+// group per core, loops stop migrating across caches and the group
+// scaling measurement isolates protocol cost from scheduler noise.
+//
+// Only Linux implements pinning (via sched_setaffinity on the calling
+// thread); elsewhere Pin reports ErrUnsupported and the caller runs
+// unpinned. Callers must hold runtime.LockOSThread for the pin to mean
+// anything — the affinity mask applies to the OS thread, not the
+// goroutine.
+package cpupin
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Pin restricts the calling OS thread to the given 0-based CPU. The CPU
+// index is taken modulo runtime.NumCPU(), so callers can hand out
+// group indexes without counting cores themselves.
+func Pin(cpu int) error {
+	if cpu < 0 {
+		return fmt.Errorf("cpupin: negative cpu %d", cpu)
+	}
+	cpu %= runtime.NumCPU()
+	// A cpu_set_t is a bit mask of CPUs; 1024 bits covers any machine
+	// this code will meet.
+	var mask [1024 / 64]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	// pid 0 means "the calling thread" for sched_setaffinity.
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(mask)),
+		uintptr(unsafe.Pointer(&mask[0])),
+	)
+	if errno != 0 {
+		return fmt.Errorf("cpupin: sched_setaffinity(cpu %d): %v", cpu, errno)
+	}
+	return nil
+}
+
+// Supported reports whether Pin can actually pin on this platform.
+func Supported() bool { return true }

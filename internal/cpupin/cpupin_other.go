@@ -1,0 +1,16 @@
+//go:build !linux
+
+package cpupin
+
+import "errors"
+
+// ErrUnsupported is returned by Pin on platforms without thread
+// affinity support.
+var ErrUnsupported = errors.New("cpupin: not supported on this platform")
+
+// Pin is a no-op on platforms without sched_setaffinity; callers run
+// unpinned.
+func Pin(cpu int) error { return ErrUnsupported }
+
+// Supported reports whether Pin can actually pin on this platform.
+func Supported() bool { return false }

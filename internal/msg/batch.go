@@ -15,6 +15,9 @@ import "encoding/binary"
 // Batch, bounding decode recursion at one level.
 type Batch struct {
 	Msgs []Message
+
+	// rec backs this batch when it came from DecodeRecycled; see Recycle.
+	rec *Record
 }
 
 var _ Message = (*Batch)(nil)
@@ -36,18 +39,28 @@ func (m *Batch) appendTo(b []byte) []byte {
 	return b
 }
 
-func (m *Batch) decode(b []byte) ([]byte, error) {
+func (m *Batch) decode(b []byte, rec *Record) ([]byte, error) {
 	n, b, err := getU32(b)
 	if err != nil {
 		return nil, err
 	}
-	// Each entry occupies at least 5 bytes on the wire; bound the
-	// pre-allocation so a corrupt count cannot trigger a huge allocation.
-	capHint := int(n)
-	if maxEntries := len(b)/5 + 1; capHint > maxEntries {
-		capHint = maxEntries
+	var msgs []Message
+	if rec != nil {
+		// Record-backed decode: the entry slice (and the hot entries
+		// themselves) come from the record's slabs, grow-only across
+		// reuses, so a warm record decodes the whole batch without
+		// allocating.
+		msgs = rec.msgs[:0]
+	} else {
+		// Each entry occupies at least 5 bytes on the wire; bound the
+		// pre-allocation so a corrupt count cannot trigger a huge
+		// allocation.
+		capHint := int(n)
+		if maxEntries := len(b)/5 + 1; capHint > maxEntries {
+			capHint = maxEntries
+		}
+		msgs = make([]Message, 0, capHint)
 	}
-	m.Msgs = make([]Message, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		l, rest, err := getU32(b)
 		if err != nil {
@@ -59,12 +72,16 @@ func (m *Batch) decode(b []byte) ([]byte, error) {
 		if Type(rest[0]) == TBatch {
 			return nil, ErrNestedBatch
 		}
-		sub, err := Decode(rest[:l])
+		sub, err := decodeFrame(rest[:l], rec)
 		if err != nil {
 			return nil, err
 		}
-		m.Msgs = append(m.Msgs, sub)
+		msgs = append(msgs, sub)
 		b = rest[l:]
+	}
+	m.Msgs = msgs
+	if rec != nil {
+		rec.msgs = msgs
 	}
 	return b, nil
 }

@@ -80,7 +80,10 @@ type Message interface {
 	// appendTo serializes the message body (without the type byte).
 	appendTo(b []byte) []byte
 	// decode parses the message body, returning the remaining bytes.
-	decode(b []byte) ([]byte, error)
+	// rec, when non-nil, is the pooled record backing this decode; only
+	// the steady-state hot types use it (their payloads then live in the
+	// record's arena), every other type ignores it and owns its memory.
+	decode(b []byte, rec *Record) ([]byte, error)
 }
 
 // Errors surfaced by the codec.
@@ -132,16 +135,25 @@ func PutBuf(b *Buf) {
 	bufPool.Put(b)
 }
 
-// Decode parses a message produced by Encode. It rejects trailing bytes.
+// Decode parses a message produced by Encode. It rejects trailing
+// bytes. The returned message owns its memory; hot receive paths prefer
+// DecodeRecycled, which backs the steady-state types with pooled
+// storage.
 func Decode(b []byte) (Message, error) {
+	return decodeFrame(b, nil)
+}
+
+// decodeFrame parses one frame; rec, when non-nil, backs the hot
+// message types with pooled storage.
+func decodeFrame(b []byte, rec *Record) (Message, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
 	}
-	m, err := newMessage(Type(b[0]))
+	m, err := newMessage(Type(b[0]), rec)
 	if err != nil {
 		return nil, err
 	}
-	rest, err := m.decode(b[1:])
+	rest, err := m.decode(b[1:], rec)
 	if err != nil {
 		return nil, err
 	}
@@ -151,14 +163,25 @@ func Decode(b []byte) (Message, error) {
 	return m, nil
 }
 
-// newMessage allocates an empty message of the given type.
-func newMessage(t Type) (Message, error) {
+// newMessage allocates an empty message of the given type — from rec's
+// typed slabs for the hot types when rec is non-nil, from the heap
+// otherwise.
+func newMessage(t Type, rec *Record) (Message, error) {
 	switch t {
 	case TPrepare:
+		if rec != nil {
+			return rec.newPrepare(), nil
+		}
 		return &Prepare{}, nil
 	case TPrepareOK:
+		if rec != nil {
+			return rec.newPrepareOK(), nil
+		}
 		return &PrepareOK{}, nil
 	case TClockTime:
+		if rec != nil {
+			return rec.newClockTime(), nil
+		}
 		return &ClockTime{}, nil
 	case TForward:
 		return &Forward{}, nil
@@ -193,6 +216,11 @@ func newMessage(t Type) (Message, error) {
 	case TLearn:
 		return &Learn{}, nil
 	case TBatch:
+		if rec != nil {
+			// Batches cannot nest, so the record's single embedded Batch
+			// is always free here.
+			return &rec.batch, nil
+		}
 		return &Batch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
@@ -253,7 +281,7 @@ func getU32(b []byte) (uint32, []byte, error) {
 	return binary.LittleEndian.Uint32(b), b[4:], nil
 }
 
-func getBytes(b []byte) ([]byte, []byte, error) {
+func getBytes(b []byte, rec *Record) ([]byte, []byte, error) {
 	n, b, err := getU32(b)
 	if err != nil {
 		return nil, nil, err
@@ -263,6 +291,11 @@ func getBytes(b []byte) ([]byte, []byte, error) {
 	// inputs that are not themselves frame-size-bounded.
 	if n > MaxFrame || uint64(len(b)) < uint64(n) {
 		return nil, nil, ErrTruncated
+	}
+	if rec != nil {
+		// Hot-path decode: the copy lives in the record's arena and is
+		// reclaimed wholesale when the record is recycled.
+		return rec.bytes(b[:n]), b[n:], nil
 	}
 	p := make([]byte, n)
 	copy(p, b[:n])
@@ -281,7 +314,7 @@ func getTS(b []byte) (types.Timestamp, []byte, error) {
 	return types.Timestamp{Wall: wall, Node: types.ReplicaID(int32(node))}, b, nil
 }
 
-func getCmd(b []byte) (types.Command, []byte, error) {
+func getCmd(b []byte, rec *Record) (types.Command, []byte, error) {
 	origin, b, err := getU32(b)
 	if err != nil {
 		return types.Command{}, nil, err
@@ -290,7 +323,7 @@ func getCmd(b []byte) (types.Command, []byte, error) {
 	if err != nil {
 		return types.Command{}, nil, err
 	}
-	payload, b, err := getBytes(b)
+	payload, b, err := getBytes(b, rec)
 	if err != nil {
 		return types.Command{}, nil, err
 	}

@@ -38,7 +38,7 @@ func getTSCmds(b []byte) ([]TimestampedCommand, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		tc.Cmd, b, err = getCmd(b)
+		tc.Cmd, b, err = getCmd(b, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -56,6 +56,9 @@ type Prepare struct {
 	Epoch types.Epoch
 	TS    types.Timestamp
 	Cmd   types.Command
+
+	// rec backs this message when it came from DecodeRecycled; see Recycle.
+	rec *Record
 }
 
 var _ Message = (*Prepare)(nil)
@@ -69,7 +72,7 @@ func (m *Prepare) appendTo(b []byte) []byte {
 	return putCmd(b, m.Cmd)
 }
 
-func (m *Prepare) decode(b []byte) ([]byte, error) {
+func (m *Prepare) decode(b []byte, rec *Record) ([]byte, error) {
 	e, b, err := getU64(b)
 	if err != nil {
 		return nil, err
@@ -79,7 +82,7 @@ func (m *Prepare) decode(b []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Cmd, b, err = getCmd(b)
+	m.Cmd, b, err = getCmd(b, rec)
 	return b, err
 }
 
@@ -91,6 +94,9 @@ type PrepareOK struct {
 	Epoch   types.Epoch
 	TS      types.Timestamp
 	ClockTS int64
+
+	// rec backs this message when it came from DecodeRecycled; see Recycle.
+	rec *Record
 }
 
 var _ Message = (*PrepareOK)(nil)
@@ -104,7 +110,7 @@ func (m *PrepareOK) appendTo(b []byte) []byte {
 	return putI64(b, m.ClockTS)
 }
 
-func (m *PrepareOK) decode(b []byte) ([]byte, error) {
+func (m *PrepareOK) decode(b []byte, rec *Record) ([]byte, error) {
 	e, b, err := getU64(b)
 	if err != nil {
 		return nil, err
@@ -123,6 +129,9 @@ func (m *PrepareOK) decode(b []byte) ([]byte, error) {
 type ClockTime struct {
 	Epoch types.Epoch
 	TS    int64
+
+	// rec backs this message when it came from DecodeRecycled; see Recycle.
+	rec *Record
 }
 
 var _ Message = (*ClockTime)(nil)
@@ -135,7 +144,7 @@ func (m *ClockTime) appendTo(b []byte) []byte {
 	return putI64(b, m.TS)
 }
 
-func (m *ClockTime) decode(b []byte) ([]byte, error) {
+func (m *ClockTime) decode(b []byte, rec *Record) ([]byte, error) {
 	e, b, err := getU64(b)
 	if err != nil {
 		return nil, err
@@ -160,9 +169,9 @@ func (*Forward) Type() Type { return TForward }
 
 func (m *Forward) appendTo(b []byte) []byte { return putCmd(b, m.Cmd) }
 
-func (m *Forward) decode(b []byte) ([]byte, error) {
+func (m *Forward) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
-	m.Cmd, b, err = getCmd(b)
+	m.Cmd, b, err = getCmd(b, nil)
 	return b, err
 }
 
@@ -188,7 +197,7 @@ func (m *Accept) appendTo(b []byte) []byte {
 	return putU64(b, m.CommitIndex)
 }
 
-func (m *Accept) decode(b []byte) ([]byte, error) {
+func (m *Accept) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Ballot, b, err = getU64(b)
 	if err != nil {
@@ -198,7 +207,7 @@ func (m *Accept) decode(b []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Cmd, b, err = getCmd(b)
+	m.Cmd, b, err = getCmd(b, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +233,7 @@ func (m *Accepted) appendTo(b []byte) []byte {
 	return putU64(b, m.Slot)
 }
 
-func (m *Accepted) decode(b []byte) ([]byte, error) {
+func (m *Accepted) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Ballot, b, err = getU64(b)
 	if err != nil {
@@ -248,7 +257,7 @@ func (*Commit) Type() Type { return TCommit }
 
 func (m *Commit) appendTo(b []byte) []byte { return putU64(b, m.Slot) }
 
-func (m *Commit) decode(b []byte) ([]byte, error) {
+func (m *Commit) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Slot, b, err = getU64(b)
 	return b, err
@@ -277,13 +286,13 @@ func (m *MAccept) appendTo(b []byte) []byte {
 	return putU64(b, m.LowSlot)
 }
 
-func (m *MAccept) decode(b []byte) ([]byte, error) {
+func (m *MAccept) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Slot, b, err = getU64(b)
 	if err != nil {
 		return nil, err
 	}
-	m.Cmd, b, err = getCmd(b)
+	m.Cmd, b, err = getCmd(b, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +318,7 @@ func (m *MAccepted) appendTo(b []byte) []byte {
 	return putU64(b, m.LowSlot)
 }
 
-func (m *MAccepted) decode(b []byte) ([]byte, error) {
+func (m *MAccepted) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Slot, b, err = getU64(b)
 	if err != nil {
@@ -332,7 +341,7 @@ func (*MCommit) Type() Type { return TMCommit }
 
 func (m *MCommit) appendTo(b []byte) []byte { return putU64(b, m.Slot) }
 
-func (m *MCommit) decode(b []byte) ([]byte, error) {
+func (m *MCommit) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Slot, b, err = getU64(b)
 	return b, err
@@ -358,7 +367,7 @@ func (m *Suspend) appendTo(b []byte) []byte {
 	return putTS(b, m.CTS)
 }
 
-func (m *Suspend) decode(b []byte) ([]byte, error) {
+func (m *Suspend) decode(b []byte, rec *Record) ([]byte, error) {
 	e, b, err := getU64(b)
 	if err != nil {
 		return nil, err
@@ -400,7 +409,7 @@ func (m *SuspendOK) appendTo(b []byte) []byte {
 	return b
 }
 
-func (m *SuspendOK) decode(b []byte) ([]byte, error) {
+func (m *SuspendOK) decode(b []byte, rec *Record) ([]byte, error) {
 	e, b, err := getU64(b)
 	if err != nil {
 		return nil, err
@@ -420,7 +429,7 @@ func (m *SuspendOK) decode(b []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.Snap, b, err = getBytes(b)
+		m.Snap, b, err = getBytes(b, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -446,7 +455,7 @@ func (m *RetrieveCmds) appendTo(b []byte) []byte {
 	return putTS(b, m.To)
 }
 
-func (m *RetrieveCmds) decode(b []byte) ([]byte, error) {
+func (m *RetrieveCmds) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.From, b, err = getTS(b)
 	if err != nil {
@@ -488,7 +497,7 @@ func (m *RetrieveReply) appendTo(b []byte) []byte {
 	return b
 }
 
-func (m *RetrieveReply) decode(b []byte) ([]byte, error) {
+func (m *RetrieveReply) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Seq, b, err = getU64(b)
 	if err != nil {
@@ -508,7 +517,7 @@ func (m *RetrieveReply) decode(b []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.Snap, b, err = getBytes(b)
+		m.Snap, b, err = getBytes(b, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -534,7 +543,7 @@ func (m *P1a) appendTo(b []byte) []byte {
 	return putU64(b, m.Ballot)
 }
 
-func (m *P1a) decode(b []byte) ([]byte, error) {
+func (m *P1a) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Instance, b, err = getU64(b)
 	if err != nil {
@@ -564,7 +573,7 @@ func (m *P1b) appendTo(b []byte) []byte {
 	return putBytes(b, m.Value)
 }
 
-func (m *P1b) decode(b []byte) ([]byte, error) {
+func (m *P1b) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Instance, b, err = getU64(b)
 	if err != nil {
@@ -578,7 +587,7 @@ func (m *P1b) decode(b []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Value, b, err = getBytes(b)
+	m.Value, b, err = getBytes(b, nil)
 	return b, err
 }
 
@@ -600,7 +609,7 @@ func (m *P2a) appendTo(b []byte) []byte {
 	return putBytes(b, m.Value)
 }
 
-func (m *P2a) decode(b []byte) ([]byte, error) {
+func (m *P2a) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Instance, b, err = getU64(b)
 	if err != nil {
@@ -610,7 +619,7 @@ func (m *P2a) decode(b []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Value, b, err = getBytes(b)
+	m.Value, b, err = getBytes(b, nil)
 	return b, err
 }
 
@@ -630,7 +639,7 @@ func (m *P2b) appendTo(b []byte) []byte {
 	return putU64(b, m.Ballot)
 }
 
-func (m *P2b) decode(b []byte) ([]byte, error) {
+func (m *P2b) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Instance, b, err = getU64(b)
 	if err != nil {
@@ -656,12 +665,12 @@ func (m *Learn) appendTo(b []byte) []byte {
 	return putBytes(b, m.Value)
 }
 
-func (m *Learn) decode(b []byte) ([]byte, error) {
+func (m *Learn) decode(b []byte, rec *Record) ([]byte, error) {
 	var err error
 	m.Instance, b, err = getU64(b)
 	if err != nil {
 		return nil, err
 	}
-	m.Value, b, err = getBytes(b)
+	m.Value, b, err = getBytes(b, nil)
 	return b, err
 }

@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"clockrsm/internal/clock"
 	"clockrsm/internal/msg"
@@ -41,6 +42,11 @@ type HostOptions struct {
 	// 1): up to this many buffered proposals flush into one event-loop
 	// turn, sharing one coalesced PREPARE broadcast (Section VI-D).
 	SubmitBatch int
+	// PinGroups pins each group's event loop to its own CPU (group g to
+	// CPU g mod NumCPU), isolating the loops from scheduler migration on
+	// multi-core hosts. Linux only; elsewhere loops are thread-locked
+	// but not pinned.
+	PinGroups bool
 }
 
 // Host runs G independent replication groups on one node. Each group
@@ -88,6 +94,10 @@ func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 		if opts.NewLog != nil {
 			lg = opts.NewLog(gid)
 		}
+		pin := 0
+		if opts.PinGroups {
+			pin = i%runtime.NumCPU() + 1
+		}
 		n := newNode(id, spec, tr, gid, true, Options{
 			Clock:       clk,
 			Log:         lg,
@@ -96,14 +106,19 @@ func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 			MaxInFlight: opts.MaxInFlight,
 			FailFast:    opts.FailFast,
 			SubmitBatch: opts.SubmitBatch,
+			PinCPU:      pin,
 		})
 		if isGT {
 			gt.SetGroupHandler(gid, func(from types.ReplicaID, m msg.Message) {
-				n.enqueue(event{m: m, from: from})
+				if !n.enqueue(event{m: m, from: from}) {
+					msg.Recycle(m) // group stopped: reclaim pooled storage
+				}
 			})
 		} else {
 			tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
-				n.enqueue(event{m: m, from: from})
+				if !n.enqueue(event{m: m, from: from}) {
+					msg.Recycle(m) // group stopped: reclaim pooled storage
+				}
 			})
 		}
 		h.nodes = append(h.nodes, n)

@@ -11,11 +11,13 @@ package node
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"clockrsm/internal/clock"
+	"clockrsm/internal/cpupin"
 	"clockrsm/internal/msg"
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/storage"
@@ -48,6 +50,12 @@ type Options struct {
 	// event-loop turn, sharing one coalesced PREPARE broadcast (the
 	// paper's client-library batching, Section VI-D).
 	SubmitBatch int
+	// PinCPU, when positive, locks the event-loop goroutine to its OS
+	// thread and pins that thread to CPU PinCPU-1 (1-based so the zero
+	// value means "no pinning"). Only effective on Linux; elsewhere the
+	// thread is locked but not pinned. Used by multi-group hosts to give
+	// each group's event loop its own core.
+	PinCPU int
 }
 
 // event is one unit of event-loop work. Deliveries and proposals are
@@ -91,6 +99,8 @@ type Node struct {
 	loopStarted bool
 
 	batchLimit int
+	// pinCPU locks the loop goroutine to CPU pinCPU-1 when positive.
+	pinCPU int
 
 	// Client API state (see propose.go). window holds one token per
 	// admitted, unresolved proposal — the backpressure window. inflight
@@ -186,7 +196,9 @@ var (
 func New(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport, opts Options) *Node {
 	n := newNode(id, spec, tr, 0, false, opts)
 	tr.SetHandler(func(from types.ReplicaID, m msg.Message) {
-		n.enqueue(event{m: m, from: from})
+		if !n.enqueue(event{m: m, from: from}) {
+			msg.Recycle(m) // node stopped: reclaim pooled decode storage
+		}
 	})
 	return n
 }
@@ -229,6 +241,7 @@ func newNode(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 		group:       group,
 		shared:      shared,
 		batchLimit:  blimit,
+		pinCPU:      opts.PinCPU,
 		window:      make(chan struct{}, window),
 		failFast:    opts.FailFast,
 		submitBatch: sbatch,
@@ -426,6 +439,10 @@ func (n *Node) exec(ev event) {
 	switch {
 	case ev.m != nil:
 		n.proto.Deliver(ev.from, ev.m)
+		// The message's pooled decode storage is reclaimed here — after
+		// Deliver returns, a protocol retains nothing of a hot message it
+		// did not copy (see msg.DecodeRecycled's ownership contract).
+		msg.Recycle(ev.m)
 	case ev.fut != nil:
 		n.execPropose(ev.fut)
 	case ev.read != nil:
@@ -444,6 +461,12 @@ func (n *Node) exec(ev event) {
 // and one coalesced outgoing flush instead of per-message wakeups.
 func (n *Node) run() {
 	defer close(n.done)
+	if n.pinCPU > 0 {
+		// Dedicate an OS thread (and, on Linux, a core) to this loop so
+		// sibling groups' loops do not migrate onto each other's caches.
+		runtime.LockOSThread()
+		cpupin.Pin(n.pinCPU - 1) // best-effort; errors just mean no pinning
+	}
 	bd, _ := n.proto.(rsm.BatchDeliverer)
 	for {
 		select {

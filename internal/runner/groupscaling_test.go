@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGroupScalingSweepSmoke runs a miniature groups × GOMAXPROCS sweep
+// over loopback TCP: every row must complete, commit work, and carry
+// wire-counter evidence from the coalescer.
+func TestGroupScalingSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping TCP sweep in -short mode")
+	}
+	rows, err := GroupScalingSweep(SweepConfig{
+		GroupCounts: []int{1, 2},
+		ProcCounts:  []int{1},
+		PayloadSize: 64,
+		PerRun:      150 * time.Millisecond,
+		TCP:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 {
+			t.Errorf("groups=%d procs=%d: no throughput", r.Groups, r.Procs)
+		}
+		if r.Wire == nil {
+			t.Fatalf("groups=%d procs=%d: TCP row without wire counters", r.Groups, r.Procs)
+		}
+		if r.Wire.Frames == 0 || r.Wire.Flushes == 0 {
+			t.Errorf("groups=%d procs=%d: empty wire counters %+v", r.Groups, r.Procs, *r.Wire)
+		}
+		if r.Wire.Frames < r.Wire.Flushes {
+			t.Errorf("groups=%d procs=%d: frames %d < flushes %d", r.Groups, r.Procs, r.Wire.Frames, r.Wire.Flushes)
+		}
+	}
+}
+
+// TestRunThroughputPinnedSmoke exercises the per-group CPU pinning path
+// (thread-locking plus, on Linux, sched_setaffinity) end to end.
+func TestRunThroughputPinnedSmoke(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Protocol:    ClockRSM,
+		Groups:      2,
+		PayloadSize: 64,
+		Warmup:      50 * time.Millisecond,
+		Duration:    150 * time.Millisecond,
+		PinGroups:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Error("pinned run committed nothing")
+	}
+}

@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,14 @@ type ThroughputConfig struct {
 	// scope); the durability A/B in BENCH_6.json passes file logs here
 	// to price fsync=batch against fsync=off on the same hot path.
 	NewLog func(types.ReplicaID, types.GroupID) storage.Log
+	// TCP runs the cluster over loopback TCP endpoints instead of the
+	// in-process hub: messages traverse real sockets, the per-peer write
+	// coalescer and the pooled decode path, and the result carries the
+	// endpoints' summed wire counters as evidence.
+	TCP bool
+	// PinGroups pins each group's event loop to its own CPU (Linux
+	// only): the per-group affinity experiment of the scaling sweep.
+	PinGroups bool
 }
 
 // withDefaults fills reasonable defaults for unset fields.
@@ -98,6 +107,9 @@ type ThroughputResult struct {
 	// OpsPerSec is committed client commands per second, summed over
 	// all replicas (and, in a sharded run, all groups).
 	OpsPerSec float64
+	// Wire sums the wire-level counters over every endpoint of a TCP
+	// run (nil for in-process runs): flush coalescing evidence.
+	Wire *transport.WireCounters
 }
 
 // clientKey picks the key client cli writes and the group it routes
@@ -119,8 +131,35 @@ func clientKey(router *shard.Router, cli int) (string, types.GroupID) {
 func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Replicas
-	hub := transport.NewHub(n, transport.HubOptions{Codec: true, Groups: cfg.Groups})
-	defer hub.Close()
+	// Transport: in-process hub with the binary codec by default; real
+	// loopback TCP endpoints (write coalescer, pooled decode, wire
+	// counters) when cfg.TCP is set.
+	endpoint := func(id types.ReplicaID) transport.Transport { return nil }
+	var tcps []*transport.TCPEndpoint
+	if cfg.TCP {
+		addrs, err := freeAddrs(n)
+		if err != nil {
+			return nil, err
+		}
+		tcps = make([]*transport.TCPEndpoint, n)
+		for i := 0; i < n; i++ {
+			tcps[i] = transport.NewTCP(types.ReplicaID(i), addrs, transport.TCPOptions{
+				Groups: cfg.Groups,
+			})
+		}
+		// Hosts close their shared endpoint on Stop; this is a backstop
+		// for early-error returns.
+		defer func() {
+			for _, t := range tcps {
+				t.Close()
+			}
+		}()
+		endpoint = func(id types.ReplicaID) transport.Transport { return tcps[id] }
+	} else {
+		hub := transport.NewHub(n, transport.HubOptions{Codec: true, Groups: cfg.Groups})
+		defer hub.Close()
+		endpoint = func(id types.ReplicaID) transport.Transport { return hub.Endpoint(id) }
+	}
 	router := shard.NewRouter(cfg.Groups)
 
 	spec := make([]types.ReplicaID, n)
@@ -142,10 +181,11 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	hosts := make([]*node.Host, n)
 	for i := 0; i < n; i++ {
 		id := types.ReplicaID(i)
-		host, err := node.NewHost(id, spec, hub.Endpoint(id), node.HostOptions{
+		host, err := node.NewHost(id, spec, endpoint(id), node.HostOptions{
 			Groups:      cfg.Groups,
 			SubmitBatch: cfg.ClientBatch,
 			NewLog:      func(g types.GroupID) storage.Log { return newLog(id, g) },
+			PinGroups:   cfg.PinGroups,
 		})
 		if err != nil {
 			return nil, err
@@ -220,13 +260,21 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	close(stop)
 	wg.Wait()
 
-	return &ThroughputResult{
+	res := &ThroughputResult{
 		Protocol:    cfg.Protocol,
 		PayloadSize: cfg.PayloadSize,
 		Groups:      cfg.Groups,
 		ClientBatch: cfg.ClientBatch,
 		OpsPerSec:   float64(completed.Load()) / elapsed.Seconds(),
-	}, nil
+	}
+	if tcps != nil {
+		var wire transport.WireCounters
+		for _, t := range tcps {
+			wire.Add(t.Counters())
+		}
+		res.Wire = &wire
+	}
+	return res, nil
 }
 
 // Figure8 reproduces Figure 8: throughput of all four protocols on a
@@ -298,6 +346,80 @@ func GroupScaling(groupCounts []int, payload int, perRun time.Duration) ([]Throu
 			return nil, err
 		}
 		out = append(out, *res)
+	}
+	return out, nil
+}
+
+// GroupScalingRun is one row of the groups × GOMAXPROCS sweep.
+type GroupScalingRun struct {
+	Groups int
+	// Procs is the GOMAXPROCS the row ran under.
+	Procs int
+	// Pinned reports whether each group's event loop was pinned to its
+	// own CPU.
+	Pinned    bool
+	OpsPerSec float64
+	// Wire carries the summed wire counters of a TCP row (nil for
+	// in-process rows).
+	Wire *transport.WireCounters
+}
+
+// SweepConfig configures GroupScalingSweep.
+type SweepConfig struct {
+	// GroupCounts and ProcCounts are the two sweep axes (defaults
+	// {1,2,4} groups and {1, NumCPU} procs).
+	GroupCounts []int
+	ProcCounts  []int
+	PayloadSize int
+	PerRun      time.Duration
+	// PinGroups additionally pins each group's loop to its own CPU.
+	PinGroups bool
+	// TCP routes each row over loopback TCP so the rows carry wire
+	// counters (flush coalescing evidence).
+	TCP bool
+}
+
+// GroupScalingSweep measures aggregate sharded throughput across the
+// groups × GOMAXPROCS grid: the multi-core scaling study recorded in
+// BENCH_7.json. The procs axis is what separates "more groups help"
+// from "more groups merely queue": at GOMAXPROCS=1 every curve is flat
+// by construction, and the sweep restores the original GOMAXPROCS
+// before returning.
+func GroupScalingSweep(cfg SweepConfig) ([]GroupScalingRun, error) {
+	if len(cfg.GroupCounts) == 0 {
+		cfg.GroupCounts = []int{1, 2, 4}
+	}
+	if len(cfg.ProcCounts) == 0 {
+		cfg.ProcCounts = []int{1, runtime.NumCPU()}
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	var out []GroupScalingRun
+	for _, procs := range cfg.ProcCounts {
+		if procs <= 0 {
+			return nil, fmt.Errorf("group scaling sweep: invalid GOMAXPROCS %d", procs)
+		}
+		runtime.GOMAXPROCS(procs)
+		for _, g := range cfg.GroupCounts {
+			res, err := RunThroughput(ThroughputConfig{
+				Protocol:    ClockRSM,
+				PayloadSize: cfg.PayloadSize,
+				Groups:      g,
+				Duration:    cfg.PerRun,
+				TCP:         cfg.TCP,
+				PinGroups:   cfg.PinGroups,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sweep groups=%d procs=%d: %w", g, procs, err)
+			}
+			out = append(out, GroupScalingRun{
+				Groups:    g,
+				Procs:     procs,
+				Pinned:    cfg.PinGroups,
+				OpsPerSec: res.OpsPerSec,
+				Wire:      res.Wire,
+			})
+		}
 	}
 	return out, nil
 }

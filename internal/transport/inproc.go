@@ -268,10 +268,11 @@ func (e *inprocEndpoint) SendGroup(to types.ReplicaID, g types.GroupID, m msg.Me
 	if e.hub.opts.Codec {
 		// Round-trip through the codec to charge serialization cost and
 		// guarantee no state is shared across replicas. The encode buffer
-		// is pooled: steady-state encoding allocates nothing.
+		// is pooled and the decode lands in a pooled record (recycled by
+		// the receiving event loop): steady state allocates nothing.
 		buf := msg.GetBuf()
 		buf.B = msg.EncodeTo(buf.B, m)
-		decoded, err := msg.Decode(buf.B)
+		decoded, err := msg.DecodeRecycled(buf.B)
 		msg.PutBuf(buf)
 		if err != nil {
 			return // undecodable message: drop, like a corrupt frame
@@ -307,7 +308,7 @@ func (e *inprocEndpoint) BroadcastGroup(dst []types.ReplicaID, g types.GroupID, 
 		if to == e.self {
 			continue
 		}
-		decoded, err := msg.Decode(buf.B)
+		decoded, err := msg.DecodeRecycled(buf.B)
 		if err != nil {
 			break // undecodable message: drop, like a corrupt frame
 		}
@@ -327,6 +328,7 @@ func (e *inprocEndpoint) deliver(to types.ReplicaID, g types.GroupID, m msg.Mess
 		select {
 		case grp.inbox <- delivery{from: e.self, m: m}:
 		case <-dst.quit:
+			msg.Recycle(m) // dropped at teardown: reclaim pooled storage
 		}
 		return
 	}
@@ -349,6 +351,7 @@ func (e *inprocEndpoint) deliver(to types.ReplicaID, g types.GroupID, m msg.Mess
 		select {
 		case <-grp.space:
 		case <-dst.quit:
+			msg.Recycle(m) // dropped at teardown: reclaim pooled storage
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,16 @@ const (
 	maxWriteBatch = 128
 	maxWriteBytes = 1 << 20
 	wireBufSize   = 64 << 10
+)
+
+// Read-buffer retention: the per-connection frame buffer grows to fit
+// the largest frame seen, but after readShrinkAfter consecutive frames
+// that would have fit in readRetainBytes it shrinks back, so one burst
+// of huge frames (a snapshot transfer, a giant batch) does not pin its
+// high-water mark for the life of the connection.
+const (
+	readRetainBytes = wireBufSize
+	readShrinkAfter = 256
 )
 
 // TCPOptions configure a TCP endpoint.
@@ -101,9 +112,15 @@ type TCPEndpoint struct {
 
 	// Wire-level counters (atomic): frames handed to the kernel and
 	// flushes (≈ syscalls) performed. framesSent/flushes is the write
-	// coalescing factor.
-	framesSent atomic.Uint64
-	flushes    atomic.Uint64
+	// coalescing factor. coalescedFrames counts frames that shared a
+	// flush with at least one other frame; multiGroupFlushes counts
+	// flushes whose batch mixed frames from two or more groups — direct
+	// evidence that concurrent groups' bursts merged on the shared
+	// connection.
+	framesSent        atomic.Uint64
+	flushes           atomic.Uint64
+	coalescedFrames   atomic.Uint64
+	multiGroupFlushes atomic.Uint64
 }
 
 var (
@@ -129,9 +146,10 @@ type inDelivery struct {
 // enqueues the same frame on every peer outbox; refs counts outstanding
 // holders so the backing pooled buffer is released exactly once.
 type outFrame struct {
-	data []byte   // [4-byte length | encoded message]; read-only once enqueued
-	buf  *msg.Buf // pooled backing storage of data
-	refs atomic.Int32
+	data  []byte   // [4-byte length | encoded message]; read-only once enqueued
+	buf   *msg.Buf // pooled backing storage of data
+	group types.GroupID
+	refs  atomic.Int32
 }
 
 var framePool = sync.Pool{New: func() any { return new(outFrame) }}
@@ -151,6 +169,7 @@ func newFrame(m msg.Message, refs int32, g types.GroupID, grouped bool) *outFram
 	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
 	f.buf.B = b
 	f.data = b
+	f.group = g
 	f.refs.Store(refs)
 	return f
 }
@@ -236,6 +255,45 @@ func (t *TCPEndpoint) WireStats() (frames, flushes uint64) {
 	return t.framesSent.Load(), t.flushes.Load()
 }
 
+// WireCounters is a snapshot of an endpoint's wire-level counters.
+type WireCounters struct {
+	// Frames handed to the kernel.
+	Frames uint64
+	// Flushes performed (≈ syscalls); Frames/Flushes is the achieved
+	// write-coalescing factor.
+	Flushes uint64
+	// CoalescedFrames counts frames that shared a flush with at least
+	// one other frame.
+	CoalescedFrames uint64
+	// MultiGroupFlushes counts flushes whose batch mixed frames from
+	// two or more groups: evidence that concurrent groups' bursts to the
+	// same peer merged into one syscall.
+	MultiGroupFlushes uint64
+	// InboundDrops counts inbound messages discarded on full group
+	// queues (grouped endpoints only).
+	InboundDrops uint64
+}
+
+// Counters returns a snapshot of the endpoint's wire-level counters.
+func (t *TCPEndpoint) Counters() WireCounters {
+	return WireCounters{
+		Frames:            t.framesSent.Load(),
+		Flushes:           t.flushes.Load(),
+		CoalescedFrames:   t.coalescedFrames.Load(),
+		MultiGroupFlushes: t.multiGroupFlushes.Load(),
+		InboundDrops:      t.inDrops.Load(),
+	}
+}
+
+// Add accumulates o into c, for summing counters across endpoints.
+func (c *WireCounters) Add(o WireCounters) {
+	c.Frames += o.Frames
+	c.Flushes += o.Flushes
+	c.CoalescedFrames += o.CoalescedFrames
+	c.MultiGroupFlushes += o.MultiGroupFlushes
+	c.InboundDrops += o.InboundDrops
+}
+
 // Start implements Transport: it binds the listen socket and begins
 // accepting peer connections.
 func (t *TCPEndpoint) Start() error {
@@ -317,13 +375,44 @@ func splitGroupBody(b []byte) (types.GroupID, []byte, error) {
 	return types.GroupID(g), b[4:], nil
 }
 
+// readBuf is the per-connection frame buffer: grow-only under load, so
+// the steady state reuses one allocation across frames, but shrunk back
+// to readRetainBytes after readShrinkAfter consecutive frames that
+// would have fit the retained size — one oversized burst must not pin
+// its high-water mark for the life of the connection.
+type readBuf struct {
+	buf   []byte
+	quiet int // consecutive small frames while oversized
+}
+
+// frame returns a length-n slice to read the next frame body into,
+// growing or shrinking the backing buffer as the traffic demands.
+func (r *readBuf) frame(n uint32) []byte {
+	switch {
+	case uint32(cap(r.buf)) < n:
+		r.buf = make([]byte, n)
+		r.quiet = 0
+	case cap(r.buf) > readRetainBytes && n <= readRetainBytes:
+		r.quiet++
+		if r.quiet >= readShrinkAfter {
+			r.buf = make([]byte, readRetainBytes)
+			r.quiet = 0
+		}
+	default:
+		r.quiet = 0
+	}
+	return r.buf[:n]
+}
+
 // readLoop consumes frames from one inbound connection. Reads go
-// through a bufio.Reader, and frame bodies land in one grow-only buffer
-// reused across frames (msg.Decode copies what it keeps), so the
-// steady-state read path performs no per-frame allocation. The
-// handshake's first word selects the framing version: legacy
-// connections deliver to group 0, version-2 connections carry a group
-// tag per frame and demultiplex to the group's handler.
+// through a bufio.Reader, frame bodies land in one reused buffer (see
+// readBuf), and decoding goes through msg.DecodeRecycled, which backs
+// the steady-state message types with pooled records the node event
+// loop recycles after delivery — so the hot read path performs no
+// per-frame allocation at all. The handshake's first word selects the
+// framing version: legacy connections deliver to group 0, version-2
+// connections carry a group tag per frame and demultiplex to the
+// group's handler.
 func (t *TCPEndpoint) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer t.untrack(conn)
@@ -344,7 +433,7 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 	if _, ok := t.addrs[from]; !ok || from == t.self {
 		return // handshake names an unknown replica: reject the connection
 	}
-	var buf []byte
+	var rb readBuf
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
@@ -354,10 +443,7 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
-		if uint32(cap(buf)) < n {
-			buf = make([]byte, n)
-		}
-		frame := buf[:n]
+		frame := rb.frame(n)
 		if _, err := io.ReadFull(br, frame); err != nil {
 			return
 		}
@@ -372,17 +458,20 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 			// A well-formed frame for a group this endpoint does not host:
 			// drop it, like any best-effort delivery failure, but decode
 			// first so a corrupt stream still kills the connection.
-			if _, err := msg.Decode(frame); err != nil {
+			m, err := msg.DecodeRecycled(frame)
+			if err != nil {
 				return
 			}
+			msg.Recycle(m)
 			continue
 		}
-		m, err := msg.Decode(frame)
+		m, err := msg.DecodeRecycled(frame)
 		if err != nil {
 			return // corrupt stream: drop the connection
 		}
 		select {
 		case <-t.quit:
+			msg.Recycle(m)
 			return // closing: drop instead of delivering into teardown
 		default:
 		}
@@ -394,6 +483,7 @@ func (t *TCPEndpoint) readLoop(conn net.Conn) {
 			case t.inboxes[g] <- inDelivery{from: from, m: m}:
 			default:
 				t.inDrops.Add(1)
+				msg.Recycle(m)
 			}
 			continue
 		}
@@ -509,18 +599,21 @@ func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
 	}
 	size := 0
 	// drainMore coalesces whatever is already queued into the current
-	// batch, up to the batch limits.
-	drainMore := func() {
+	// batch, up to the batch limits, reporting how many frames it added.
+	drainMore := func() int {
+		added := 0
 		for len(batch) < maxWriteBatch && size < maxWriteBytes {
 			select {
 			case f := <-p.outbox:
 				batch = append(batch, f)
 				size += len(f.data)
+				added++
 				continue
 			default:
 			}
 			break
 		}
+		return added
 	}
 	for {
 		var f *outFrame
@@ -568,8 +661,33 @@ func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
 				bw = bufio.NewWriterSize(conn, wireBufSize)
 			}
 			var err error
-			for _, f := range batch {
-				if _, err = bw.Write(f.data); err != nil {
+			written := 0
+			for {
+				// Write what the batch holds, then look again: frames that
+				// other groups (or this group's next burst) queued while
+				// these bytes were being buffered join the same flush. On a
+				// grouped endpoint, an empty re-drain yields the processor
+				// once first — concurrent event loops bursting to this peer
+				// are typically one schedule away from having enqueued —
+				// which is what merges cross-group traffic into one syscall.
+				for _, f := range batch[written:] {
+					if _, err = bw.Write(f.data); err != nil {
+						break
+					}
+				}
+				if err != nil {
+					break
+				}
+				written = len(batch)
+				if len(batch) >= maxWriteBatch || size >= maxWriteBytes {
+					break
+				}
+				n := drainMore()
+				if n == 0 && t.grouped {
+					runtime.Gosched()
+					n = drainMore()
+				}
+				if n == 0 {
 					break
 				}
 			}
@@ -583,6 +701,17 @@ func (t *TCPEndpoint) writeLoop(to types.ReplicaID, p *tcpPeer) {
 			}
 			t.framesSent.Add(uint64(len(batch)))
 			t.flushes.Add(1)
+			if len(batch) > 1 {
+				t.coalescedFrames.Add(uint64(len(batch)))
+				if t.grouped {
+					for _, f := range batch[1:] {
+						if f.group != batch[0].group {
+							t.multiGroupFlushes.Add(1)
+							break
+						}
+					}
+				}
+			}
 			break
 		}
 		releaseBatch()
