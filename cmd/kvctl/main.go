@@ -1,5 +1,5 @@
-// Command kvctl is a client for kvserver's line protocol: the data
-// commands and the membership/status operator API.
+// Command kvctl is a client for kvserver: the data commands and the
+// membership/status operator API, over either protocol.
 //
 // Data:
 //
@@ -26,26 +26,77 @@
 // r-prefixed ("reconf 0 1 2", "reconf r0,r1,r2"). It drives every
 // group hosted by the addressed replica to the new configuration and
 // prints the resulting member set and per-group epochs.
+//
+// With -rpc, kvctl speaks the binary front door (the kvserver -rpc
+// port) through the client package instead of the line protocol; -addr
+// then takes one or more comma-separated replica RPC addresses and the
+// client fails over between them. The line protocol remains the
+// default.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"strings"
 	"time"
+
+	"clockrsm/client"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7200", "kvserver client address")
+	addr := flag.String("addr", "127.0.0.1:7200", "kvserver client address (with -rpc: comma-separated RPC addresses)")
 	timeout := flag.Duration("timeout", 30*time.Second, "request timeout")
+	useRPC := flag.Bool("rpc", false, "use the binary front door (kvserver -rpc port) via the client package")
 	flag.Parse()
 
+	run := runLine
+	if *useRPC {
+		run = runRPC
+	}
 	if err := run(*addr, *timeout, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "kvctl:", err)
 		os.Exit(1)
+	}
+}
+
+// getSpec is a parsed `get` invocation, shared by the line and RPC
+// paths.
+type getSpec struct {
+	key    string
+	level  string // "", "lin", "seq" or "stale"
+	maxAge string // duration text; only with level "stale"
+}
+
+// parseGet parses `get [-level=...] [-maxage=...] <key>`.
+func parseGet(args []string) (getSpec, error) {
+	var g getSpec
+	var keys []string
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-level="):
+			g.level = strings.TrimPrefix(a, "-level=")
+		case strings.HasPrefix(a, "-maxage="):
+			g.maxAge = strings.TrimPrefix(a, "-maxage=")
+		default:
+			keys = append(keys, a)
+		}
+	}
+	if len(keys) != 1 {
+		return g, fmt.Errorf("usage: kvctl get [-level=lin|seq|stale] [-maxage=<dur>] <key>")
+	}
+	g.key = keys[0]
+	if g.maxAge != "" && g.level != "stale" {
+		return g, fmt.Errorf("-maxage applies only to -level=stale (the other levels have no staleness bound)")
+	}
+	switch g.level {
+	case "", "lin", "seq", "stale":
+		return g, nil
+	default:
+		return g, fmt.Errorf("unknown read level %q (want lin, seq or stale)", g.level)
 	}
 }
 
@@ -62,38 +113,22 @@ func buildLine(args []string) (string, error) {
 		}
 		return "PUT " + args[1] + " " + strings.Join(args[2:], " "), nil
 	case "get":
-		level, maxAge := "", ""
-		var keys []string
-		for _, a := range args[1:] {
-			switch {
-			case strings.HasPrefix(a, "-level="):
-				level = strings.TrimPrefix(a, "-level=")
-			case strings.HasPrefix(a, "-maxage="):
-				maxAge = strings.TrimPrefix(a, "-maxage=")
-			default:
-				keys = append(keys, a)
-			}
+		g, err := parseGet(args[1:])
+		if err != nil {
+			return "", err
 		}
-		if len(keys) != 1 {
-			return "", fmt.Errorf("usage: kvctl get [-level=lin|seq|stale] [-maxage=<dur>] <key>")
-		}
-		if maxAge != "" && level != "stale" {
-			return "", fmt.Errorf("-maxage applies only to -level=stale (the other levels have no staleness bound)")
-		}
-		switch level {
+		switch g.level {
 		case "":
-			return "GET " + keys[0], nil
+			return "GET " + g.key, nil
 		case "lin":
-			return "GETL " + keys[0], nil
+			return "GETL " + g.key, nil
 		case "seq":
-			return "GETS " + keys[0], nil
-		case "stale":
-			if maxAge != "" {
-				return "GETA " + keys[0] + " " + maxAge, nil
+			return "GETS " + g.key, nil
+		default: // stale
+			if g.maxAge != "" {
+				return "GETA " + g.key + " " + g.maxAge, nil
 			}
-			return "GETA " + keys[0], nil
-		default:
-			return "", fmt.Errorf("unknown read level %q (want lin, seq or stale)", level)
+			return "GETA " + g.key, nil
 		}
 	case "del":
 		if len(args) != 2 {
@@ -126,19 +161,31 @@ func buildLine(args []string) (string, error) {
 	}
 }
 
-func run(addr string, timeout time.Duration, args []string) error {
+// dialLine opens a line-protocol connection with the whole-request
+// deadline applied — the one place dial/timeout handling lives.
+func dialLine(addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// runLine performs one request over the legacy line protocol.
+func runLine(addr string, timeout time.Duration, args []string) error {
 	line, err := buildLine(args)
 	if err != nil {
 		return err
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	conn, err := dialLine(addr, timeout)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return err
-	}
 
 	if _, err := fmt.Fprintln(conn, line); err != nil {
 		return err
@@ -152,4 +199,84 @@ func run(addr string, timeout time.Duration, args []string) error {
 		return fmt.Errorf("server error")
 	}
 	return nil
+}
+
+// runRPC performs one request over the binary front door via the
+// client package: data verbs map to client methods, operator verbs
+// travel as admin lines. -addr may list several replicas; the client
+// fails over between them.
+func runRPC(addr string, timeout time.Duration, args []string) error {
+	// Validate the invocation before dialing so usage errors don't wait
+	// on an unreachable server.
+	line, err := buildLine(args)
+	if err != nil {
+		return err
+	}
+	c, err := client.Dial(client.Config{
+		Addrs:       strings.Split(addr, ","),
+		DialTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	printVal := func(v []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			fmt.Println("OK (nil)")
+		} else {
+			fmt.Printf("OK %s\n", v)
+		}
+		return nil
+	}
+	switch strings.ToLower(args[0]) {
+	case "put":
+		v, err := c.Put(ctx, args[1], []byte(strings.Join(args[2:], " ")))
+		return printVal(v, err)
+	case "del":
+		v, err := c.Del(ctx, args[1])
+		return printVal(v, err)
+	case "get":
+		g, err := parseGet(args[1:])
+		if err != nil {
+			return err
+		}
+		switch g.level {
+		case "":
+			v, err := c.Get(ctx, g.key)
+			return printVal(v, err)
+		case "lin":
+			v, err := c.GetLin(ctx, g.key)
+			return printVal(v, err)
+		case "seq":
+			v, err := c.GetSeq(ctx, g.key)
+			return printVal(v, err)
+		default: // stale
+			var maxAge time.Duration
+			if g.maxAge != "" {
+				if maxAge, err = time.ParseDuration(g.maxAge); err != nil {
+					return fmt.Errorf("bad -maxage %q: %v", g.maxAge, err)
+				}
+			}
+			v, err := c.GetStale(ctx, g.key, maxAge)
+			return printVal(v, err)
+		}
+	default:
+		// Operator verbs share buildLine's syntax and the server's admin
+		// handler; the line just travels inside a VAdmin frame.
+		reply, err := c.Admin(ctx, line)
+		if err != nil {
+			return err
+		}
+		fmt.Println(reply)
+		if strings.HasPrefix(reply, "ERR") {
+			return fmt.Errorf("server error")
+		}
+		return nil
+	}
 }

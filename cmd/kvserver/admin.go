@@ -39,6 +39,11 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 		st := s.host.Status()
 		var b strings.Builder
 		fmt.Fprintf(&b, "OK id=%s groups=%d", st.ID, len(st.Groups))
+		if s.rpc != nil {
+			cs := s.rpc.Counters()
+			fmt.Fprintf(&b, " rpc=(conns=%d inflight=%d accepted=%d shed=%d)",
+				cs.Conns, cs.InFlight, cs.Accepted, cs.Shed)
+		}
 		for _, g := range st.Groups {
 			fmt.Fprintf(&b, " %s=(epoch=%d members=%s in=%t inflight=%d proposed=%d resolved=%d lat_n=%d lat_mean=%s lat_p95=%s lat_max=%s reads=%d parked=%d read_age=%s held_dropped=%d snap_restores=%d",
 				g.Group, g.Epoch, node.MemberString(g.Members), g.InConfig,

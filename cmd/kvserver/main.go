@@ -39,6 +39,13 @@
 //	kvserver -id 1 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7201
 //	kvserver -id 2 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7202
 //
+// With -rpc <addr> the replica additionally serves the binary front
+// door (internal/rpc) on that address: a multiplexed, pipelined
+// request/response protocol with per-connection and global admission
+// budgets (-rpc-conn-budget, -rpc-budget), spoken by the client package
+// and `kvctl -rpc`. The line protocol stays available for debugging and
+// legacy clients.
+//
 // With -groups G every replica hosts G independent Clock-RSM groups
 // multiplexed over the same peer connections; the key space is
 // partitioned by hash (internal/shard), each command is routed to its
@@ -63,6 +70,7 @@ import (
 	"clockrsm/internal/core"
 	"clockrsm/internal/kvstore"
 	"clockrsm/internal/node"
+	"clockrsm/internal/rpc"
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/shard"
 	"clockrsm/internal/storage"
@@ -93,6 +101,14 @@ type serverConfig struct {
 	// reconfigured this replica out while it was down), "always" rejoins
 	// every group, "never" disables it.
 	rejoin string
+	// rpcAddr, when non-empty, serves the binary front-door protocol
+	// (internal/rpc: multiplexed, pipelined; see the client package) on
+	// that address, beside the line protocol.
+	rpcAddr string
+	// rpcBudget / rpcConnBudget are the front door's global and
+	// per-connection admission budgets (0 = the rpc package defaults).
+	rpcBudget     int
+	rpcConnBudget int
 }
 
 func main() {
@@ -108,6 +124,9 @@ func main() {
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync mode with -log: always, batch (group commit), or off")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint", 0, "snapshot + compact the log every N committed commands (0 disables)")
 	flag.StringVar(&cfg.rejoin, "rejoin", "auto", "rejoin the configuration after restart: auto (replayed groups), always, or never")
+	flag.StringVar(&cfg.rpcAddr, "rpc", "", "binary RPC listen address (empty disables the front door)")
+	flag.IntVar(&cfg.rpcBudget, "rpc-budget", 0, "front-door global in-flight admission budget (0 = default)")
+	flag.IntVar(&cfg.rpcConnBudget, "rpc-conn-budget", 0, "front-door per-connection in-flight admission budget (0 = default)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -214,6 +233,27 @@ func run(cfg serverConfig) error {
 	}
 	log.Printf("replica r%d up; groups=%d peers=%v client=%s fsync=%s", id, groups, peerList, clientAddr, mode)
 
+	// Binary front door (internal/rpc): multiplexed, pipelined RPC with
+	// admission control, beside the legacy line protocol. The operator
+	// verbs are shared — VAdmin routes through the same admin handler.
+	if cfg.rpcAddr != "" {
+		rpcSrv := rpc.NewServer(host, rpc.ServerOptions{
+			MaxInFlight:  cfg.rpcBudget,
+			ConnInFlight: cfg.rpcConnBudget,
+			Timeout:      cfg.clientTimeout,
+			Admin:        srv.admin,
+		})
+		srv.rpc = rpcSrv
+		defer rpcSrv.Close()
+		rln, err := net.Listen("tcp", cfg.rpcAddr)
+		if err != nil {
+			return err
+		}
+		defer rln.Close()
+		go rpcSrv.Serve(rln)
+		log.Printf("replica r%d front door on %s", id, rln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", clientAddr)
 	if err != nil {
 		return err
@@ -264,12 +304,25 @@ func recordGroupLayout(base string, groups int) error {
 	return os.WriteFile(base+".groups", []byte(strconv.Itoa(groups)+"\n"), 0o644)
 }
 
+// maxLineBytes caps one line-protocol command line (verb + key +
+// value). bufio.Scanner's default 64 KiB cap silently killed the
+// connection on large PUTs; this raises the cap and makes crossing it
+// a reported protocol error (errLineTooLong).
+const maxLineBytes = 1 << 20
+
+// errLineTooLong is the typed reply for a command line over
+// maxLineBytes.
+var errLineTooLong = fmt.Errorf("line too long (max %d bytes)", maxLineBytes)
+
 // server bridges client connections to the replica's groups. All
 // submission plumbing — ID allocation, completion routing, timeouts —
 // lives in the node client API; the server just proposes and waits.
 type server struct {
 	host    *node.Host
 	timeout time.Duration
+	// rpc is the binary front-door server when -rpc is set (nil
+	// otherwise); STATUS surfaces its admission counters.
+	rpc *rpc.Server
 }
 
 // serve handles one client connection: each line becomes one key-routed
@@ -286,23 +339,43 @@ func (s *server) serve(conn net.Conn) {
 	var sess node.Session
 	// A dedicated reader detects connection close (EOF or error) even
 	// while a command is in flight; canceling ctx then releases the
-	// Wait below.
-	lines := make(chan string)
+	// Wait below. The scanner's token cap is raised from bufio's 64 KiB
+	// default to maxLineBytes, and hitting it is a typed, reported error
+	// instead of a silent connection drop.
+	type lineEvent struct {
+		line string
+		err  error
+	}
+	lines := make(chan lineEvent)
 	go func() {
 		defer cancel()
 		defer close(lines)
 		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
 		for sc.Scan() {
 			select {
-			case lines <- sc.Text():
+			case lines <- lineEvent{line: sc.Text()}:
 			case <-ctx.Done():
 				return
 			}
 		}
+		if err := sc.Err(); errors.Is(err, bufio.ErrTooLong) {
+			select {
+			case lines <- lineEvent{err: errLineTooLong}:
+			case <-ctx.Done():
+			}
+		}
 	}()
 	w := bufio.NewWriter(conn)
-	for line := range lines {
-		line = strings.TrimSpace(line)
+	for ev := range lines {
+		if ev.err != nil {
+			// The stream past an oversized line cannot be re-framed; report
+			// the typed error and drop the connection.
+			fmt.Fprintf(w, "ERR %v\n", ev.err)
+			w.Flush()
+			return
+		}
+		line := strings.TrimSpace(ev.line)
 		if line == "" {
 			continue
 		}

@@ -20,6 +20,9 @@
 //     space over a host's replication groups;
 //   - internal/analysis: the analytical latency model of Table II and
 //     the numerical study of Figure 7 / Table IV;
+//   - internal/rpc, client: the production front door — a multiplexed
+//     binary RPC protocol served beside kvserver's line protocol, and
+//     the public client library that speaks it;
 //   - internal/runner: the experiment harness regenerating every table
 //     and figure of Section VI.
 //
@@ -147,6 +150,29 @@
 // at a removed replica fail with ErrNotInConfig, the same sweep
 // contract as write futures. BenchmarkReadPath* measures the tiers
 // against the replicated baseline (runner.ReadScaling, BENCH_5.json).
+//
+// # Front door
+//
+// The production client path is a length-prefixed, multiplexed binary
+// RPC protocol (internal/rpc): every request carries an ID, many
+// requests pipeline over one connection, and responses complete out of
+// order — so one socket amortizes commit latency across a whole window
+// instead of paying it per command like the line protocol's strict
+// write-then-read. Frames reuse the replica wire's pooled-buffer
+// encode and borrow-from-input decode discipline. kvserver serves it
+// on -rpc beside the legacy line protocol; the public client package
+// wraps it with a bounded in-flight window, replica failover,
+// automatic resubmission of provably-unexecuted commands
+// (ErrNotInConfig/ErrReconfigured — reads also resubmit on connection
+// loss, writes fail with client.ErrConnLost rather than risk a
+// duplicate), and session-sticky sequential reads whose monotonic
+// token survives failover. The server side admits work against
+// per-connection and global in-flight budgets and sheds overload
+// immediately with a typed wire error (rpc.ErrOverloaded mapping to
+// node.ErrOverloaded) instead of queueing without bound; STATUS
+// reports conns/inflight/accepted/shed. runner.RunFrontDoor measures
+// both protocols against the same cluster (BenchmarkRPCPipeline,
+// BENCH_8.json).
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results. The root-level

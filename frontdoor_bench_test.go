@@ -1,0 +1,84 @@
+// BenchmarkFrontDoor measures the production front door against the
+// legacy line protocol: the same three-replica Clock-RSM cluster
+// behind real TCP listeners, saturated by closed-loop writers.
+//
+// The comparison runs in two regimes. The WAN variants emulate the
+// paper's geo-replicated setting (2 ms one-way replica links, so a
+// commit costs a real round trip) — the regime the front door exists
+// for, where a ping-pong protocol pays the commit latency once per
+// command and a pipelined connection amortizes it across the window.
+// The acceptance gate for BENCH_8.json reads from these: one pipelined
+// RPC connection (window 32) must sustain at least the line protocol's
+// throughput at equal client count (32 line connections) and at least
+// 2x the line protocol's single-connection throughput. The local
+// variants (instant links) are the CPU-bound datapoint on this
+// container. CI runs the variants with -benchtime=1x as a smoke.
+package clockrsm_test
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/runner"
+)
+
+// wanDelay is the emulated one-way replica link latency of the WAN
+// variants (4 ms RTT — the low end of the paper's intra-continent
+// links, large against per-op CPU cost).
+const wanDelay = 2 * time.Millisecond
+
+func runFrontDoor(b *testing.B, cfg runner.FrontDoorConfig) {
+	b.Helper()
+	var ops float64
+	for i := 0; i < b.N; i++ {
+		cfg.Warmup = 300 * time.Millisecond
+		cfg.Duration = 2 * time.Second
+		res, err := runner.RunFrontDoor(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.OpsPerSec
+	}
+	b.ReportMetric(ops, "ops/s")
+}
+
+// BenchmarkRPCPipeline is the headline number: one connection, 32
+// requests in flight, out-of-order completion, over the emulated WAN.
+func BenchmarkRPCPipeline(b *testing.B) {
+	runFrontDoor(b, runner.FrontDoorConfig{
+		Mode: runner.FrontDoorRPC, Conns: 1, Window: 32, ReplicaDelay: wanDelay,
+	})
+}
+
+// BenchmarkLineProtocol is the legacy single-connection baseline over
+// the same WAN: one request in flight, strict write-then-read, so
+// every command pays the full commit latency.
+func BenchmarkLineProtocol(b *testing.B) {
+	runFrontDoor(b, runner.FrontDoorConfig{
+		Mode: runner.FrontDoorLine, Conns: 1, ReplicaDelay: wanDelay,
+	})
+}
+
+// BenchmarkLineProtocolConns32 is the equal-client-count baseline: 32
+// line connections carry the same concurrency one pipelined RPC
+// connection does, at 32x the sockets.
+func BenchmarkLineProtocolConns32(b *testing.B) {
+	runFrontDoor(b, runner.FrontDoorConfig{
+		Mode: runner.FrontDoorLine, Conns: 32, ReplicaDelay: wanDelay,
+	})
+}
+
+// BenchmarkRPCPipelineLocal / BenchmarkLineProtocolLocal are the
+// instant-link CPU-bound datapoints: with free commits and one visible
+// CPU, per-op processing cost is all that differentiates the modes.
+func BenchmarkRPCPipelineLocal(b *testing.B) {
+	runFrontDoor(b, runner.FrontDoorConfig{Mode: runner.FrontDoorRPC, Conns: 1, Window: 32})
+}
+
+func BenchmarkLineProtocolLocal(b *testing.B) {
+	runFrontDoor(b, runner.FrontDoorConfig{Mode: runner.FrontDoorLine, Conns: 1})
+}
+
+func BenchmarkLineProtocolConns32Local(b *testing.B) {
+	runFrontDoor(b, runner.FrontDoorConfig{Mode: runner.FrontDoorLine, Conns: 32})
+}

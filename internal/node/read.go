@@ -95,6 +95,14 @@ type Session struct {
 // session has observed.
 func (s *Session) Watermark() int64 { return s.w.Load() }
 
+// Advance folds a served read's watermark into the session token,
+// keeping it monotonic. Local reads advance their session automatically
+// (Read calls it); Advance exists for remote front ends — a client
+// library carrying the token across connections feeds the watermark
+// each GETS response reports back into its session, so sequential reads
+// stay monotonic across replica failover.
+func (s *Session) Advance(w int64) { s.observe(w) }
+
 // observe folds a served read's watermark into the session token.
 func (s *Session) observe(w int64) {
 	for {

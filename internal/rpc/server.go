@@ -1,0 +1,397 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/msg"
+	"clockrsm/internal/node"
+	"clockrsm/internal/types"
+)
+
+// ServerOptions configure a front-door Server.
+type ServerOptions struct {
+	// MaxInFlight is the global admission budget: requests admitted
+	// (handed to the replication stack) but not yet answered, across all
+	// connections (default 4096). A request past it is shed immediately
+	// with StatusOverloaded — the server never queues unbounded work.
+	MaxInFlight int
+	// ConnInFlight is the per-connection admission budget (default 256),
+	// so one aggressive pipeline cannot consume the whole global budget.
+	ConnInFlight int
+	// Timeout bounds the server-side wait for one request (default 10s);
+	// expiry answers StatusTimeout.
+	Timeout time.Duration
+	// Admin serves VAdmin requests: one operator line in (MEMBERS,
+	// STATUS, RECONF ...), one reply line out, ok=false for unknown
+	// verbs. nil rejects every admin request.
+	Admin func(ctx context.Context, line string) (string, bool)
+}
+
+func (o *ServerOptions) defaults() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4096
+	}
+	if o.ConnInFlight <= 0 {
+		o.ConnInFlight = 256
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+}
+
+// Counters is a snapshot of the server's admission statistics.
+type Counters struct {
+	// Conns is the number of currently open connections.
+	Conns int64
+	// InFlight is the number of admitted, unanswered requests right now.
+	InFlight int64
+	// Accepted counts requests admitted since the server started.
+	Accepted int64
+	// Shed counts requests rejected by an admission budget.
+	Shed int64
+}
+
+// Server serves the front-door protocol over a listener, translating
+// wire requests into Host proposals and tiered reads. Each connection
+// runs one reader and one writer goroutine plus one short-lived
+// goroutine per admitted request; admission budgets bound the total.
+type Server struct {
+	host *node.Host
+	opts ServerOptions
+
+	global atomic.Int64 // admitted in-flight, all connections
+
+	conns    atomic.Int64
+	accepted atomic.Int64
+	shed     atomic.Int64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	active    map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer creates a front-door server over host.
+func NewServer(host *node.Host, opts ServerOptions) *Server {
+	opts.defaults()
+	return &Server{
+		host:      host,
+		opts:      opts,
+		listeners: make(map[net.Listener]struct{}),
+		active:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Counters snapshots the admission statistics.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Conns:    s.conns.Load(),
+		InFlight: s.global.Load(),
+		Accepted: s.accepted.Load(),
+		Shed:     s.shed.Load(),
+	}
+}
+
+// Serve accepts connections on ln until ln is closed or the server is.
+// It always returns a non-nil error; after Close it returns
+// net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.active[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// the per-connection goroutines to drain. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for conn := range s.active {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// conn is the per-connection state shared by the reader, the writer and
+// the request goroutines.
+type srvConn struct {
+	s    *Server
+	c    net.Conn
+	resp chan *msg.Buf // encoded response frames, writer-owned after send
+	done chan struct{} // closed on teardown; unblocks request goroutines
+	wg   sync.WaitGroup
+	// ctx parents every request context; teardown cancels it so requests
+	// parked in the replication stack unwind instead of running out
+	// their full timeout against a client that already hung up.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	inFlight atomic.Int64 // this connection's admitted, unanswered requests
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.active, c)
+		s.mu.Unlock()
+	}()
+	s.conns.Add(1)
+	defer s.conns.Add(-1)
+	defer c.Close()
+
+	if err := ReadMagic(c); err != nil {
+		return
+	}
+
+	sc := &srvConn{
+		s: s, c: c,
+		// The response channel is bounded: when the writer falls behind
+		// (client not reading — TCP backpressure), request goroutines
+		// block here instead of buffering frames without limit. Capacity
+		// covers the connection budget so completions rarely contend.
+		resp: make(chan *msg.Buf, s.opts.ConnInFlight+1),
+		done: make(chan struct{}),
+	}
+	sc.ctx, sc.cancel = context.WithCancel(context.Background())
+	defer sc.cancel()
+
+	// Writer: drain encoded frames through one bufio.Writer, flushing
+	// only when the channel runs empty — the write-as-drained coalescing
+	// idiom of the replica wire, one syscall per burst.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// A write error closes the connection so the reader (blocked in
+		// ReadFrame) unblocks and teardown proceeds.
+		defer c.Close()
+		bw := bufio.NewWriterSize(c, 64<<10)
+		for {
+			select {
+			case b, ok := <-sc.resp:
+				if !ok {
+					return
+				}
+				_, err := bw.Write(b.B)
+				msg.PutBuf(b)
+				if err != nil {
+					return
+				}
+				for {
+					select {
+					case b, ok := <-sc.resp:
+						if !ok {
+							bw.Flush()
+							return
+						}
+						_, err := bw.Write(b.B)
+						msg.PutBuf(b)
+						if err != nil {
+							return
+						}
+						continue
+					default:
+					}
+					break
+				}
+				if bw.Flush() != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Reader: frame → decode → admission → dispatch. Runs on this
+	// goroutine; a decode error kills the connection (framing state past
+	// a bad frame is untrustworthy).
+	sc.readLoop()
+
+	// Teardown: unblock request goroutines first (they may be parked on
+	// the bounded response channel), wait for them, then let the writer
+	// drain what was already enqueued and exit.
+	close(sc.done)
+	sc.cancel()
+	sc.wg.Wait()
+	close(sc.resp)
+	<-writerDone
+	// A writer that died on a write error leaves frames queued; recycle
+	// them so the pool keeps its buffers.
+	for b := range sc.resp {
+		msg.PutBuf(b)
+	}
+}
+
+func (sc *srvConn) readLoop() {
+	var buf []byte
+	for {
+		payload, err := ReadFrame(sc.c, &buf)
+		if err != nil {
+			return
+		}
+		var req Request
+		if err := DecodeRequest(payload, &req); err != nil {
+			// Answer the one request we could not parse, then drop the
+			// connection: resynchronizing a corrupt stream is impossible.
+			sc.send(&Response{ID: req.ID, Status: StatusBadRequest, Value: []byte(err.Error())})
+			return
+		}
+		// Admission control: both budgets, checked before any work is
+		// queued. A rejected request is answered immediately and never
+		// touches the replication stack — load sheds at the door instead
+		// of collapsing latency for admitted work.
+		if sc.inFlight.Load() >= int64(sc.s.opts.ConnInFlight) ||
+			sc.s.global.Load() >= int64(sc.s.opts.MaxInFlight) {
+			sc.s.shed.Add(1)
+			sc.send(&Response{ID: req.ID, Status: StatusOverloaded})
+			continue
+		}
+		sc.inFlight.Add(1)
+		sc.s.global.Add(1)
+		sc.s.accepted.Add(1)
+
+		// Decoded slices borrow the read buffer: copy what the request
+		// goroutine keeps, here, before the next ReadFrame reuses it.
+		key := string(req.Key)
+		var value []byte
+		if req.Value != nil {
+			value = append([]byte(nil), req.Value...)
+		}
+		sc.wg.Add(1)
+		go sc.handle(req, key, value)
+	}
+}
+
+// handle executes one admitted request and enqueues its response.
+func (sc *srvConn) handle(req Request, key string, value []byte) {
+	defer sc.wg.Done()
+	defer sc.inFlight.Add(-1)
+	defer sc.s.global.Add(-1)
+
+	ctx, cancel := context.WithTimeout(sc.ctx, sc.s.opts.Timeout)
+	defer cancel()
+
+	resp := Response{ID: req.ID}
+	var err error
+	switch req.Verb {
+	case VPut, VGet, VDel:
+		var payload []byte
+		switch req.Verb {
+		case VPut:
+			payload = kvstore.Put(key, value)
+		case VGet:
+			payload = kvstore.Get(key)
+		case VDel:
+			payload = kvstore.Delete(key)
+		}
+		var fut *node.Future
+		if fut, err = sc.s.host.ProposeKey(ctx, key, payload); err == nil {
+			var res types.Result
+			res, err = fut.Wait(ctx)
+			resp.Value = res.Value
+		}
+	case VGetL, VGetS, VGetA:
+		var lvl node.Level
+		var sess node.Session
+		switch req.Verb {
+		case VGetL:
+			lvl = node.Linearizable
+		case VGetS:
+			// The client's session token travels in the request; seeding a
+			// throwaway Session with it parks the read until this replica's
+			// watermark covers everything the session has observed — the
+			// monotonicity state lives in the token, not the connection.
+			sess.Advance(req.Session)
+			lvl = node.Sequential(&sess)
+		case VGetA:
+			lvl = node.Stale(time.Duration(req.MaxAge))
+		}
+		var res node.ReadResult
+		if res, err = sc.s.host.ReadKey(ctx, key, kvstore.Get(key), lvl); err == nil {
+			resp.Value = res.Value
+			resp.Watermark = res.Watermark
+		}
+	case VAdmin:
+		if sc.s.opts.Admin == nil {
+			err = ErrBadRequest
+		} else if reply, ok := sc.s.opts.Admin(ctx, string(value)); ok {
+			resp.Value = []byte(reply)
+		} else {
+			resp.Status = StatusBadRequest
+			resp.Value = []byte("unknown admin verb")
+			sc.send(&resp)
+			return
+		}
+	default:
+		err = ErrBadRequest
+	}
+
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, node.ErrCanceled) {
+			err = ErrTimeout
+		}
+		resp.Status = StatusFor(err)
+		resp.Value = nil
+		if resp.Status == StatusErr || resp.Status == StatusBadRequest {
+			resp.Value = []byte(err.Error())
+		}
+	} else if resp.Status == 0 {
+		resp.Status = StatusOK
+	}
+	sc.send(&resp)
+}
+
+// send encodes resp into a pooled buffer and enqueues it for the
+// writer, blocking (TCP backpressure) if the client is not draining.
+// On connection teardown the frame is recycled and dropped.
+func (sc *srvConn) send(resp *Response) {
+	b := msg.GetBuf()
+	b.B = AppendResponse(b.B[:0], resp)
+	select {
+	case sc.resp <- b:
+	case <-sc.done:
+		msg.PutBuf(b)
+	}
+}

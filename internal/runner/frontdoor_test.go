@@ -1,0 +1,37 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunFrontDoor smoke-runs both front-door modes briefly and checks
+// each commits work with the expected concurrency accounting.
+func TestRunFrontDoor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP front doors")
+	}
+	cases := []struct {
+		cfg     FrontDoorConfig
+		clients int
+	}{
+		{FrontDoorConfig{Mode: FrontDoorRPC, Conns: 1, Window: 8}, 8},
+		{FrontDoorConfig{Mode: FrontDoorLine, Conns: 2, Window: 8 /* ignored */}, 2},
+	}
+	for _, tc := range cases {
+		res, err := RunFrontDoor(FrontDoorConfig{
+			Mode: tc.cfg.Mode, Conns: tc.cfg.Conns, Window: tc.cfg.Window,
+			Warmup: 100 * time.Millisecond, Duration: 300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cfg.Mode, err)
+		}
+		if res.OpsPerSec <= 0 {
+			t.Fatalf("%s: no committed ops", tc.cfg.Mode)
+		}
+		if res.Clients != tc.clients {
+			t.Fatalf("%s: %d clients, want %d", tc.cfg.Mode, res.Clients, tc.clients)
+		}
+		t.Logf("%s conns=%d window=%d: %.0f ops/s", res.Mode, res.Conns, res.Window, res.OpsPerSec)
+	}
+}
