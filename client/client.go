@@ -16,6 +16,11 @@
 //     command never executed (the PR 4 error contract), so the Client
 //     fails over to the next replica and resubmits, invisibly to the
 //     caller, up to Config.MaxAttempts tries.
+//   - rpc.StatusWrongGroup (a key caught mid-migration by a live group
+//     split for longer than the server would wait) is resubmitted on
+//     the same connection: the command was fenced before execution, so
+//     the resubmission preserves at-most-once, and the server re-routes
+//     it against its refreshed routing table.
 //   - Connection loss is resubmitted only when it is safe. Requests
 //     that were never written, and reads (idempotent by nature), are
 //     re-sent on the next connection. A write that was already on the
@@ -413,6 +418,18 @@ func (c *Client) settle(ca *call, resp *rpc.Response, startDrain func()) {
 		// again): collect what it still owes, then switch. The command
 		// never executed, so resubmission is always safe.
 		startDrain()
+		ca.attempts++
+		if ca.attempts >= c.cfg.MaxAttempts {
+			c.deliverErr(ca, fmt.Errorf("%w: %d tries, last: %v", ErrTooManyAttempts, ca.attempts, resp.Status.Err(nil)))
+			return
+		}
+		c.requeue(ca)
+	case rpc.StatusWrongGroup:
+		// The key's slot was mid-migration for longer than the server was
+		// willing to wait. The command was fenced, not executed, so
+		// resubmission is safe; and the replica itself is healthy — every
+		// kvserver hosts every group — so resend on this connection (no
+		// drain) and let the server re-route against its refreshed table.
 		ca.attempts++
 		if ca.attempts >= c.cfg.MaxAttempts {
 			c.deliverErr(ca, fmt.Errorf("%w: %d tries, last: %v", ErrTooManyAttempts, ca.attempts, resp.Status.Err(nil)))

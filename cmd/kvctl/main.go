@@ -21,6 +21,9 @@
 //	kvctl -addr 127.0.0.1:7200 epoch          # per-group epochs
 //	kvctl -addr 127.0.0.1:7200 status         # full per-group snapshot
 //	kvctl -addr 127.0.0.1:7200 reconf 0,1,2   # reconfigure all groups
+//	kvctl -addr 127.0.0.1:7200 routes         # routing table snapshot
+//	kvctl -addr 127.0.0.1:7200 split g0 g2    # live-split group g0 into g2
+//	kvctl -addr 127.0.0.1:7200 heal           # roll forward a stalled split
 //
 // reconf accepts replica IDs separated by commas or spaces, bare or
 // r-prefixed ("reconf 0 1 2", "reconf r0,r1,r2"). It drives every
@@ -102,7 +105,7 @@ func parseGet(args []string) (getSpec, error) {
 
 // buildLine translates a kvctl invocation into one protocol line.
 func buildLine(args []string) (string, error) {
-	usage := fmt.Errorf("usage: kvctl [flags] put|get|del <key> [value] | members|epoch|status | reconf <id,id,...>")
+	usage := fmt.Errorf("usage: kvctl [flags] put|get|del <key> [value] | members|epoch|status|routes|heal | reconf <id,id,...> | split <src> <dst>")
 	if len(args) == 0 {
 		return "", usage
 	}
@@ -135,11 +138,16 @@ func buildLine(args []string) (string, error) {
 			return "", fmt.Errorf("usage: kvctl del <key>")
 		}
 		return "DEL " + args[1], nil
-	case "members", "epoch", "status":
+	case "members", "epoch", "status", "routes", "heal":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: kvctl %s", strings.ToLower(args[0]))
 		}
 		return strings.ToUpper(args[0]), nil
+	case "split":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: kvctl split <src-group> <dst-group>")
+		}
+		return "SPLIT " + args[1] + " " + args[2], nil
 	case "reconf":
 		if len(args) < 2 {
 			return "", fmt.Errorf("usage: kvctl reconf <id,id,...>")

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -15,13 +16,20 @@ import (
 //
 //	MEMBERS              -> OK g0=r0,r1,r2 g1=r0,r1,r2
 //	EPOCH                -> OK g0=1 g1=1
-//	STATUS               -> OK id=r0 groups=2 g0=(epoch=... ...) g1=(...)
+//	STATUS               -> OK id=r0 groups=2 routes=(...) g0=(epoch=... ...) g1=(...)
 //	RECONF <id,id,...>   -> OK members=r0,r1,r2 epochs=g0:2,g1:2
+//	ROUTES               -> OK version=3 slots=512 groups=3 g0=170 ... migrating=0
+//	SPLIT <src> <dst>    -> OK from=g0 to=g2 gen=2 slots=128 pairs=940 chunks=8
+//	HEAL                 -> OK splits=1 g0->g2:128
 //
 // RECONF drives every hosted group to the new configuration atomically
 // (node.Host.ReconfigureAll); IDs may be bare ("0,1,2") or r-prefixed
-// ("r0,r1,r2"). It reports whether the line was an admin command; data
-// commands (PUT/GET/DEL) fall through to the replication path.
+// ("r0,r1,r2"). SPLIT live-moves half of group src's key slots to dst
+// (a hosted spare or existing group) under the fence/checkpoint/install
+// protocol of internal/reshard; HEAL rolls forward any split a crashed
+// coordinator left mid-flight. It reports whether the line was an admin
+// command; data commands (PUT/GET/DEL) fall through to the replication
+// path.
 func (s *server) admin(ctx context.Context, line string) (string, bool) {
 	// Only the verb decides whether this is an admin line; don't split a
 	// data command's whole value just to find out it is a PUT.
@@ -38,7 +46,8 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 	case "STATUS":
 		st := s.host.Status()
 		var b strings.Builder
-		fmt.Fprintf(&b, "OK id=%s groups=%d", st.ID, len(st.Groups))
+		fmt.Fprintf(&b, "OK id=%s groups=%d routes=(version=%d groups=%d migrating=%d)",
+			st.ID, len(st.Groups), st.RouteVersion, st.RouteGroups, st.RouteMigrating)
 		if s.rpc != nil {
 			cs := s.rpc.Counters()
 			fmt.Fprintf(&b, " rpc=(conns=%d inflight=%d accepted=%d shed=%d)",
@@ -52,6 +61,7 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 				g.CommitLatency.P95, g.CommitLatency.Max,
 				g.ReadsLocal, g.ReadsParked, g.ReadAge, g.HeldDropped,
 				g.SnapRestores)
+			fmt.Fprintf(&b, " slots=%d migrating_out=%d", g.Slots, g.MigratingOut)
 			if g.FsyncMode != "" {
 				fmt.Fprintf(&b, " fsync=%s appends=%d fsyncs=%d fsync_batch_max=%d",
 					g.FsyncMode, g.Log.Appends, g.Log.Syncs, g.Log.MaxBatch)
@@ -83,8 +93,89 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 		}
 		return fmt.Sprintf("OK members=%s epochs=%s",
 			node.MemberString(st.Groups[0].Members), strings.Join(epochs, ",")), true
+	case "ROUTES":
+		t := s.host.Table()
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK version=%d slots=%d groups=%d", t.Version, t.NumSlots(), t.Groups())
+		for g := 0; g < s.host.Groups(); g++ {
+			fmt.Fprintf(&b, " g%d=%d", g, len(t.OwnedSlots(types.GroupID(g))))
+		}
+		migs := t.Migrations()
+		fmt.Fprintf(&b, " migrating=%d", len(migs))
+		if len(migs) > 0 {
+			// Summarize migrations as from->to:gen:count, deterministic order.
+			type edge struct{ from, to types.GroupID; gen uint32 }
+			counts := make(map[edge]int)
+			for _, c := range migs {
+				counts[edge{c.Owner, c.To, c.Gen}]++
+			}
+			edges := make([]edge, 0, len(counts))
+			for e := range counts {
+				edges = append(edges, e)
+			}
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].from != edges[j].from {
+					return edges[i].from < edges[j].from
+				}
+				if edges[i].to != edges[j].to {
+					return edges[i].to < edges[j].to
+				}
+				return edges[i].gen < edges[j].gen
+			})
+			for _, e := range edges {
+				fmt.Fprintf(&b, " %s->%s:gen%d:%d", e.from, e.to, e.gen, counts[e])
+			}
+		}
+		return b.String(), true
+	case "SPLIT":
+		args := strings.Fields(rest)
+		if len(args) != 2 {
+			return "ERR usage: SPLIT <src-group> <dst-group>", true
+		}
+		src, err1 := parseGroup(args[0])
+		dst, err2 := parseGroup(args[1])
+		if err1 != nil || err2 != nil {
+			return "ERR bad group (want g0, g1, ... or a bare index)", true
+		}
+		sctx, done := ctx, func() {}
+		if s.timeout > 0 {
+			sctx, done = context.WithTimeout(ctx, s.timeout)
+		}
+		defer done()
+		rep, err := s.host.Split(sctx, src, dst)
+		if err != nil {
+			return "ERR split: " + err.Error(), true
+		}
+		return fmt.Sprintf("OK from=%s to=%s gen=%d slots=%d pairs=%d chunks=%d",
+			rep.From, rep.To, rep.Gen, rep.Slots, rep.Pairs, rep.Chunks), true
+	case "HEAL":
+		hctx, done := ctx, func() {}
+		if s.timeout > 0 {
+			hctx, done = context.WithTimeout(ctx, s.timeout)
+		}
+		defer done()
+		reps, err := s.host.Heal(hctx)
+		if err != nil {
+			return "ERR heal: " + err.Error(), true
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK splits=%d", len(reps))
+		for _, r := range reps {
+			fmt.Fprintf(&b, " %s->%s:%d", r.From, r.To, r.Slots)
+		}
+		return b.String(), true
 	}
 	return "", false
+}
+
+// parseGroup parses "g0", "G1" or a bare index into a GroupID.
+func parseGroup(tok string) (types.GroupID, error) {
+	tok = strings.TrimPrefix(strings.ToLower(strings.TrimSpace(tok)), "g")
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad group %q", tok)
+	}
+	return types.GroupID(n), nil
 }
 
 // perGroup renders one field per hosted group as "g0=v0 g1=v1 ...".

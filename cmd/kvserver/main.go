@@ -32,6 +32,9 @@
 //	EPOCH                per-group configuration epochs
 //	STATUS               per-group epoch/members/in-flight/latency snapshot
 //	RECONF <id,id,...>   atomically reconfigure every group (grow/shrink)
+//	ROUTES               routing table: version, slot counts, migrations
+//	SPLIT <src> <dst>    live-move half of group src's key slots to dst
+//	HEAL                 roll forward a split a crashed coordinator left
 //
 // Example three-replica cluster on one machine:
 //
@@ -48,10 +51,13 @@
 //
 // With -groups G every replica hosts G independent Clock-RSM groups
 // multiplexed over the same peer connections; the key space is
-// partitioned by hash (internal/shard), each command is routed to its
-// key's group, and groups commit in parallel. All replicas of one
-// cluster must use the same -groups value. With -log, group g persists
-// to <path>.g<g> (a single group keeps <path> itself).
+// partitioned into slots routed by a dynamic table (internal/reshard)
+// that starts placement-identical to hash sharding, and groups commit
+// in parallel. All replicas of one cluster must use the same -groups
+// value; capacity beyond what the routing table uses is spare groups a
+// live SPLIT can activate. With -log, group g persists to <path>.g<g>
+// (a single group keeps <path> itself) and the routing table persists
+// to <path>.routes.
 package main
 
 import (
@@ -70,6 +76,7 @@ import (
 	"clockrsm/internal/core"
 	"clockrsm/internal/kvstore"
 	"clockrsm/internal/node"
+	"clockrsm/internal/reshard"
 	"clockrsm/internal/rpc"
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/shard"
@@ -168,10 +175,24 @@ func run(cfg serverConfig) error {
 		return fmt.Errorf("bad -rejoin %q (want auto, always, or never)", cfg.rejoin)
 	}
 
+	// The routing table, when persisted from a previous run, is the
+	// source of truth for key placement; -groups is just hosting
+	// capacity. A nil table (fresh boot, or no -log) routes by the
+	// legacy layout, which is placement-identical to hash-mod-G.
+	var table *reshard.Table
+	var routesPath string
+	if logPath != "" {
+		routesPath = logPath + ".routes"
+		var err error
+		if table, err = reshard.Load(routesPath); err != nil {
+			return fmt.Errorf("routing table %s: %w", routesPath, err)
+		}
+	}
+
 	logs := make([]storage.Log, groups)
 	replay := make([]bool, groups)
 	if logPath != "" {
-		if err := checkGroupLayout(logPath, groups); err != nil {
+		if err := checkGroupLayout(logPath, groups, table); err != nil {
 			return err
 		}
 		for g := 0; g < groups; g++ {
@@ -190,8 +211,10 @@ func run(cfg serverConfig) error {
 
 	tr := transport.NewTCP(types.ReplicaID(id), addrs, transport.TCPOptions{Groups: groups})
 	host, err := node.NewHost(types.ReplicaID(id), spec, tr, node.HostOptions{
-		Groups: groups,
-		NewLog: func(g types.GroupID) storage.Log { return logs[g] },
+		Groups:     groups,
+		NewLog:     func(g types.GroupID) storage.Log { return logs[g] },
+		Table:      table,
+		RoutesPath: routesPath,
 	})
 	if err != nil {
 		return err
@@ -201,7 +224,10 @@ func run(cfg serverConfig) error {
 		gid := types.GroupID(g)
 		app := &rsm.App{SM: kvstore.New()}
 		nd := host.Group(gid)
-		nd.Bind(app) // execution results resolve Propose futures
+		// Bind through the host so each group's state machine gets the
+		// resharding wrapper: replicated fence/install commands route and
+		// fence keys, and execution results resolve Propose futures.
+		host.Bind(gid, app)
 		nd.SetProtocol(core.New(nd, app, core.Options{
 			ClockTimeInterval: cfg.delta,
 			SuspectTimeout:    cfg.suspect,
@@ -268,31 +294,76 @@ func run(cfg serverConfig) error {
 	}
 }
 
-// checkGroupLayout refuses to start when the on-disk logs were written
-// under a different -groups value: the group count determines both the
-// log file names and the key→group hash, so reusing the logs would
-// silently abandon (or misplace) committed data. The check is
-// read-only; the count in force is persisted by recordGroupLayout once
-// startup has gotten far enough that a marker cannot outlive a failed
-// first start.
-func checkGroupLayout(base string, groups int) error {
+// GroupLayoutError is the typed refusal for a -groups value the
+// on-disk state cannot support. It names the marker file the previous
+// count was read from and says what would make the new count legal —
+// since live resharding exists, the answer is no longer "never": a
+// restart may always grow capacity (add spares) when a persisted
+// routing table carries the placement, and shrinking goes through
+// group splits/merges (`kvctl split`, see the README's Resharding
+// walkthrough), never through editing -groups.
+type GroupLayoutError struct {
+	// Marker is the layout marker path (<log>.groups), Routes the
+	// routing-table path (<log>.routes) whose presence legitimizes
+	// grown counts.
+	Marker, Routes string
+	// Prev is the recorded count (0: none, single-group era log), Want
+	// the count this start asked for.
+	Prev, Want int
+	// Reason says why Want is not acceptable.
+	Reason string
+}
+
+func (e *GroupLayoutError) Error() string {
+	return fmt.Sprintf("group layout: -groups %d rejected (%s recorded %d): %s",
+		e.Want, e.Marker, e.Prev, e.Reason)
+}
+
+// checkGroupLayout refuses to start when the on-disk logs cannot be
+// served under the requested -groups value. Before resharding the rule
+// was equality: the count determined the key→group hash, so any change
+// silently misplaced committed data. With a persisted routing table
+// (<log>.routes) placement lives in the table — slots are fixed at
+// genesis — so a grown count only adds spare groups and is accepted;
+// what stays illegal is shrinking below the groups the table (or the
+// marker) routes to, and growing a deployment that predates the table.
+// The check is read-only; recordGroupLayout persists the count in force
+// once startup has gotten far enough that a marker cannot outlive a
+// failed first start.
+func checkGroupLayout(base string, groups int, table *reshard.Table) error {
 	marker := base + ".groups"
+	routes := base + ".routes"
+	fail := func(prev int, reason string) error {
+		return &GroupLayoutError{Marker: marker, Routes: routes, Prev: prev, Want: groups, Reason: reason}
+	}
 	if b, err := os.ReadFile(marker); err == nil {
 		prev, perr := strconv.Atoi(strings.TrimSpace(string(b)))
 		if perr != nil {
 			return fmt.Errorf("corrupt group marker %s: %q", marker, b)
 		}
-		if prev != groups {
-			return fmt.Errorf("logs at %s were written with -groups %d; starting with -groups %d would silently ignore committed data (migrate or remove the logs and %s first)", base, prev, groups, marker)
+		switch {
+		case prev == groups:
+			return nil
+		case table != nil && groups > prev && prev > 1:
+			// The routing table owns placement and every group it routes
+			// to keeps its log file; extra capacity is spares for the next
+			// split. (NewHost separately refuses a table that routes to
+			// more groups than hosted.)
+			return nil
+		case table != nil && groups < prev:
+			return fail(prev, fmt.Sprintf("shrinking hosted capacity would orphan group logs; drain groups with splits/merges first (routing table %s routes %d groups)", routes, table.Groups()))
+		case table != nil && prev <= 1:
+			return fail(prev, "single-group log naming differs; migrate the log to <path>.g0 and restart")
+		default:
+			return fail(prev, fmt.Sprintf("no routing table at %s to carry placement across the change; grow groups via live resharding (start with spare capacity, then `kvctl split`), or remove the logs and %s", routes, marker))
 		}
-		return nil
 	} else if !os.IsNotExist(err) {
 		return err
 	}
 	// No marker: logs from before group sharding are single-group.
 	if groups > 1 {
 		if st, err := os.Stat(base); err == nil && st.Size() > 0 {
-			return fmt.Errorf("log %s exists from a single-group deployment; -groups %d would ignore it (migrate or remove it first)", base, groups)
+			return fail(0, fmt.Sprintf("log %s predates group sharding (single-group); migrate it to <path>.g0 or remove it", base))
 		}
 	}
 	return nil
@@ -402,11 +473,10 @@ func (s *server) serve(conn net.Conn) {
 		if s.timeout > 0 {
 			cmdCtx, done = context.WithTimeout(ctx, s.timeout)
 		}
-		fut, err := s.host.Propose(cmdCtx, payload)
-		var res types.Result
-		if err == nil {
-			res, err = fut.Wait(cmdCtx)
-		}
+		// ExecutePayload routes by the live table and retries through a
+		// split's fence window, so a resharding in progress is invisible
+		// here unless it outlives the timeout.
+		res, err := s.host.ExecutePayload(cmdCtx, payload)
 		switch {
 		case err == nil:
 			if res.Value == nil {
@@ -418,6 +488,8 @@ func (s *server) serve(conn net.Conn) {
 			// Connection closed while waiting: nothing left to reply to.
 			done()
 			return
+		case errors.Is(err, node.ErrWrongGroup):
+			fmt.Fprintln(w, "ERR key mid-migration (split in progress; retry)")
 		case errors.Is(cmdCtx.Err(), context.DeadlineExceeded):
 			fmt.Fprintln(w, "ERR timeout")
 		case errors.Is(err, node.ErrStopped):
@@ -457,6 +529,8 @@ func (s *server) serveRead(ctx context.Context, w *bufio.Writer, query []byte, l
 		fmt.Fprintln(w, "ERR too stale")
 	case errors.Is(err, node.ErrNotInConfig):
 		fmt.Fprintln(w, "ERR not in configuration (read elsewhere)")
+	case errors.Is(err, node.ErrWrongGroup):
+		fmt.Fprintln(w, "ERR key mid-migration (split in progress; retry)")
 	case errors.Is(cmdCtx.Err(), context.DeadlineExceeded):
 		fmt.Fprintln(w, "ERR timeout")
 	case errors.Is(err, node.ErrStopped):

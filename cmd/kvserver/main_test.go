@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"clockrsm/internal/kvstore"
+	"clockrsm/internal/reshard"
 	"clockrsm/internal/node"
 )
 
@@ -292,8 +294,11 @@ func TestKVServerAdminEndToEnd(t *testing.T) {
 	if resp := send("EPOCH"); resp != "OK g0=0 g1=0" {
 		t.Fatalf("EPOCH = %q", resp)
 	}
-	if resp := send("STATUS"); !strings.HasPrefix(resp, "OK id=r0 groups=2 g0=(epoch=0 members=r0,r1,r2 in=true") {
+	if resp := send("STATUS"); !strings.HasPrefix(resp, "OK id=r0 groups=2 routes=(version=1 groups=2 migrating=0) g0=(epoch=0 members=r0,r1,r2 in=true") {
 		t.Fatalf("STATUS = %q", resp)
+	}
+	if resp := send("ROUTES"); resp != "OK version=1 slots=512 groups=2 g0=256 g1=256 migrating=0" {
+		t.Fatalf("ROUTES = %q", resp)
 	}
 
 	// Shrink to {0,1}: both groups move atomically.
@@ -347,20 +352,20 @@ func TestKVServerAdminEndToEnd(t *testing.T) {
 func TestCheckGroupLayoutGuardsRegrouping(t *testing.T) {
 	base := t.TempDir() + "/rsm.log"
 	// A first start passes the check, then records the count.
-	if err := checkGroupLayout(base, 4); err != nil {
+	if err := checkGroupLayout(base, 4, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := recordGroupLayout(base, 4); err != nil {
 		t.Fatal(err)
 	}
 	// Same count restarts fine; a different count is refused.
-	if err := checkGroupLayout(base, 4); err != nil {
+	if err := checkGroupLayout(base, 4, nil); err != nil {
 		t.Fatalf("same-count restart refused: %v", err)
 	}
-	if err := checkGroupLayout(base, 2); err == nil {
+	if err := checkGroupLayout(base, 2, nil); err == nil {
 		t.Fatal("regrouping 4 -> 2 over existing logs was allowed")
 	}
-	if err := checkGroupLayout(base, 1); err == nil {
+	if err := checkGroupLayout(base, 1, nil); err == nil {
 		t.Fatal("regrouping 4 -> 1 over existing logs was allowed")
 	}
 }
@@ -369,11 +374,11 @@ func TestCheckGroupLayoutFailedFirstStartLeavesNoMarker(t *testing.T) {
 	// A start that fails after the check but before recordGroupLayout
 	// must not block a retry with a different count.
 	base := t.TempDir() + "/rsm.log"
-	if err := checkGroupLayout(base, 5000); err != nil {
+	if err := checkGroupLayout(base, 5000, nil); err != nil {
 		t.Fatal(err)
 	}
 	// No recordGroupLayout: startup died later (e.g. invalid flags).
-	if err := checkGroupLayout(base, 4); err != nil {
+	if err := checkGroupLayout(base, 4, nil); err != nil {
 		t.Fatalf("retry after failed first start refused: %v", err)
 	}
 }
@@ -385,17 +390,52 @@ func TestCheckGroupLayoutLegacySingleGroupLog(t *testing.T) {
 	if err := os.WriteFile(base, []byte("entries"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkGroupLayout(base, 4); err == nil {
+	if err := checkGroupLayout(base, 4, nil); err == nil {
 		t.Fatal("multi-group start over a legacy single-group log was allowed")
 	}
 	// …but a single-group start adopts it and records the marker.
-	if err := checkGroupLayout(base, 1); err != nil {
+	if err := checkGroupLayout(base, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := recordGroupLayout(base, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkGroupLayout(base, 4); err == nil {
+	if err := checkGroupLayout(base, 4, nil); err == nil {
 		t.Fatal("regrouping 1 -> 4 over existing logs was allowed")
+	}
+}
+
+func TestCheckGroupLayoutRoutingTableLegitimizesGrowth(t *testing.T) {
+	base := t.TempDir() + "/rsm.log"
+	if err := checkGroupLayout(base, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := recordGroupLayout(base, 2); err != nil {
+		t.Fatal(err)
+	}
+	// With a persisted routing table carrying placement, growing hosted
+	// capacity (spares for the next split) is legal…
+	tbl := reshard.Legacy(2)
+	if err := checkGroupLayout(base, 3, tbl); err != nil {
+		t.Fatalf("table-backed growth 2 -> 3 refused: %v", err)
+	}
+	// …and the refusals that remain are typed and actionable.
+	if err := checkGroupLayout(base, 1, tbl); err == nil {
+		t.Fatal("table-backed shrink 2 -> 1 was allowed")
+	} else {
+		var le *GroupLayoutError
+		if !errors.As(err, &le) {
+			t.Fatalf("shrink refusal is not a *GroupLayoutError: %v", err)
+		}
+		if le.Prev != 2 || le.Want != 1 || le.Marker != base+".groups" {
+			t.Fatalf("GroupLayoutError fields = %+v", le)
+		}
+	}
+	// Without a table the old equality rule still protects placement,
+	// and the error points the operator at the resharding flow.
+	if err := checkGroupLayout(base, 3, nil); err == nil {
+		t.Fatal("tableless growth 2 -> 3 was allowed")
+	} else if !strings.Contains(err.Error(), "split") {
+		t.Fatalf("tableless growth refusal does not mention resharding: %v", err)
 	}
 }

@@ -16,8 +16,12 @@
 //     loops over in-process or TCP transports), including node.Host — a
 //     multi-group engine running G independent Clock-RSM groups per
 //     node over one shared, group-tagged transport;
-//   - internal/shard: the key→group router that partitions the key
-//     space over a host's replication groups;
+//   - internal/shard: the key→group hash underlying both routers, and
+//     the fixed mod-G router used before a routing table exists;
+//   - internal/reshard: the elastic resharding subsystem — the
+//     versioned slot routing table that is the live source of
+//     placement truth, and the split coordinator that moves slots
+//     between groups under load;
 //   - internal/analysis: the analytical latency model of Table II and
 //     the numerical study of Figure 7 / Table IV;
 //   - internal/rpc, client: the production front door — a multiplexed
@@ -125,6 +129,43 @@
 //     and shrink a live cluster from the CLI;
 //     runner.RunMembershipChurn asserts the whole story end to end
 //     (3→5→3 under load, zero lost or duplicated commands).
+//
+// # Elastic resharding
+//
+// The key space is divided into a fixed set of hash slots
+// (256 × the genesis group count; reshard.Legacy places slot s at
+// group s mod G, bit-identical to the old fixed router, so adopting
+// the table moves no key). A versioned routing table (reshard.Table)
+// records one claim per slot — owner, generation, and Owned/Migrating
+// phase — and replaces hash-mod-G as the source of placement truth.
+// Claims merge monotonically (higher generation wins; at equal
+// generation the ownership flip supersedes the fence), so replicas
+// fold in routing news from logs, snapshots and disk in any order and
+// converge to one outcome. Each host persists its table beside the WAL
+// (<log>.routes), which is also what legitimizes restarting with a
+// grown -groups value: capacity beyond the table's active groups runs
+// as warm spares for future splits.
+//
+// A live split (reshard.Coordinator, Host.Split) moves the upper half
+// of a group's slots to a spare in four phases: a FENCE command
+// replicated in the source group's log freezes the moving slots at one
+// log position (every replica redirects later writes to those slots —
+// the linearization barrier); a checkpoint of the frozen slots is
+// snapshotted at the source; INSTALL chunks replicated in the target
+// group's log seed the frozen pairs; the final chunk flips ownership.
+// The coordinator holds no state of its own — every durable step lives
+// in a group log — so a coordinator that dies mid-split leaves a table
+// still showing Migrating claims, and any other coordinator's Heal
+// rolls the transfer forward; per-(source, generation) seed records
+// make duplicate installs no-ops, so racing healers converge to
+// exactly one owner per slot. Writes route through Host.Execute, which
+// retries through node.ErrWrongGroup redirects (surfaced on the RPC
+// wire as rpc.StatusWrongGroup); reads refuse Migrating slots at serve
+// time rather than risk a stale source copy. runner.RunSplitChurn
+// drives the whole story over real TCP and file logs: a
+// coordinator-crash-mid-split healed by two racing coordinators, then
+// a clean split, under closed-loop load with per-key linearizability
+// asserted across the boundary.
 //
 // # Read path
 //

@@ -239,6 +239,29 @@ func (s *Store) Restore(state []byte) error {
 	return nil
 }
 
+// InstallPair seeds one migrated key/value pair directly, bypassing
+// command decoding. The resharding layer uses it to install a fenced
+// slot's frozen data at its new group; it counts as one applied
+// command so replicas that seed and replicas that replay the same
+// install agree on the apply counter.
+func (s *Store) InstallPair(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied++
+	s.data[key] = append([]byte(nil), value...)
+}
+
+// DecodeSnapshot parses a Snapshot blob into its key/value map,
+// without constructing a Store. The resharding coordinator uses it to
+// filter a source group's checkpoint down to the migrating slots.
+func DecodeSnapshot(state []byte) (map[string][]byte, error) {
+	st := New()
+	if err := st.Restore(state); err != nil {
+		return nil, err
+	}
+	return st.data, nil
+}
+
 // SnapshotMap returns a deep copy of the state, for divergence checks in
 // tests.
 func (s *Store) SnapshotMap() map[string][]byte {

@@ -42,7 +42,29 @@ var (
 	// ErrNotRejoinable reports that the protocol bound to the node has no
 	// recovery entry point (it does not implement rsm.Rejoiner).
 	ErrNotRejoinable = errors.New("node: protocol does not support rejoin")
+	// ErrWrongGroup reports that a command's key no longer belongs to
+	// the group it was proposed on: the key's slot has migrated (or is
+	// migrating) to another group. The command was NOT executed, so
+	// resubmitting it at the new owner — after refreshing the routing
+	// table — is safe. Concrete instances are *WrongGroupError, which
+	// names the new owner; match the class with errors.Is(err,
+	// ErrWrongGroup).
+	ErrWrongGroup = errors.New("node: key routed to another group")
 )
+
+// WrongGroupError is the concrete error behind ErrWrongGroup: the
+// fenced command's key now belongs to group To.
+type WrongGroupError struct {
+	To types.GroupID
+}
+
+// Error implements error.
+func (e *WrongGroupError) Error() string {
+	return fmt.Sprintf("node: key migrated to group %v (resubmit there)", e.To)
+}
+
+// Is matches the ErrWrongGroup sentinel.
+func (e *WrongGroupError) Is(target error) bool { return target == ErrWrongGroup }
 
 // latRingSize bounds the sampled commit-latency ring.
 const latRingSize = 512
@@ -129,6 +151,12 @@ type GroupStatus struct {
 	// carries its append/fsync counters.
 	FsyncMode string
 	Log       storage.LogStats
+	// Slots is the number of routing-table slots this group owns and
+	// MigratingOut how many of them it is currently fencing away to
+	// another group. Filled by Host.Status from the host's routing
+	// table; zero on bare Nodes.
+	Slots        int
+	MigratingOut int
 }
 
 // Epoch returns the configuration epoch this node has installed. It is

@@ -7,6 +7,7 @@ import (
 
 	"clockrsm/internal/clock"
 	"clockrsm/internal/msg"
+	"clockrsm/internal/reshard"
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/shard"
 	"clockrsm/internal/storage"
@@ -47,6 +48,16 @@ type HostOptions struct {
 	// multi-core hosts. Linux only; elsewhere loops are thread-locked
 	// but not pinned.
 	PinGroups bool
+	// Table is the initial routing table. Nil derives the legacy
+	// layout from Groups (slot s → group s mod Groups), which places
+	// every key exactly where the fixed hash-mod-G router did. A table
+	// routing to fewer groups than Groups leaves the extras as spares a
+	// split can activate.
+	Table *reshard.Table
+	// RoutesPath, when non-empty, persists the routing table there on
+	// every change, and is where a restarted host resumes routing from
+	// (see reshard.Load).
+	RoutesPath string
 }
 
 // Host runs G independent replication groups on one node. Each group
@@ -64,6 +75,11 @@ type Host struct {
 	tr     transport.Transport
 	nodes  []*Node
 	router *shard.Router
+	// holder owns the live routing table (the source of truth for
+	// key→group dispatch); shardSMs are the per-group resharding
+	// wrappers Bind installs around the application state machines.
+	holder   *reshard.Holder
+	shardSMs []*reshard.SM
 }
 
 // NewHost creates a host for replica id over tr with opts.Groups
@@ -87,7 +103,20 @@ func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 	if clk == nil {
 		clk = clock.NewMonotonic(clock.System{})
 	}
-	h := &Host{id: id, tr: tr, router: shard.NewRouter(g)}
+	tbl := opts.Table
+	if tbl == nil {
+		tbl = reshard.Legacy(g)
+	}
+	if tg := tbl.Groups(); tg > g {
+		return nil, fmt.Errorf("host %v: routing table uses %d groups, host only hosts %d", id, tg, g)
+	}
+	h := &Host{
+		id:       id,
+		tr:       tr,
+		router:   shard.NewRouter(g),
+		holder:   reshard.NewHolder(tbl, opts.RoutesPath),
+		shardSMs: make([]*reshard.SM, g),
+	}
 	for i := 0; i < g; i++ {
 		gid := types.GroupID(i)
 		var lg storage.Log
@@ -136,41 +165,67 @@ func (h *Host) Groups() int { return len(h.nodes) }
 // and the handle for Propose/Do against that group.
 func (h *Host) Group(g types.GroupID) *Node { return h.nodes[g] }
 
-// Router returns the key→group router this host shards by.
+// Router returns the legacy fixed key→group router. It reflects the
+// hosted group count, not live routing: since resharding, dispatch
+// goes through the routing table (see Table), which starts out
+// placement-identical to this router and then diverges as groups
+// split.
 func (h *Host) Router() *shard.Router { return h.router }
 
 // Propose routes an encoded kvstore payload to its key's replication
-// group (via the shard router, so every node and client library
+// group (via the routing table, so every node and client library
 // dispatches identically) and proposes it there. For payloads that are
 // not kvstore commands, or to route by an explicit key, use ProposeKey
 // or Group(g).Propose.
 func (h *Host) Propose(ctx context.Context, payload []byte) (*Future, error) {
-	return h.nodes[h.router.GroupForPayload(payload)].Propose(ctx, payload)
+	return h.nodes[h.groupForPayload(payload)].Propose(ctx, payload)
 }
 
 // ProposeKey proposes an opaque payload on the replication group
-// responsible for key.
+// responsible for key. The future fails with ErrWrongGroup if the
+// key's slot migrates before the command executes; Execute wraps this
+// with the retry loop front ends want.
 func (h *Host) ProposeKey(ctx context.Context, key string, payload []byte) (*Future, error) {
-	return h.nodes[h.router.Group(key)].Propose(ctx, payload)
+	return h.nodes[h.holder.Load().Group(key)].Propose(ctx, payload)
 }
 
 // Read answers a read-only kvstore query at the requested consistency
-// level, routed to its key's replication group by the shard router —
+// level, routed to its key's replication group by the routing table —
 // the same dispatch Propose uses, so a read always lands in the group
 // whose total order its key's writes belong to. See Node.Read.
 func (h *Host) Read(ctx context.Context, query []byte, lvl Level) (ReadResult, error) {
-	return h.nodes[h.router.GroupForPayload(query)].Read(ctx, query, lvl)
+	if key, ok := shard.Key(query); ok {
+		return h.ReadKey(ctx, key, query, lvl)
+	}
+	return h.nodes[0].Read(ctx, query, lvl)
 }
 
-// ReadKey answers an opaque read-only query on the replication group
-// responsible for key.
-func (h *Host) ReadKey(ctx context.Context, key string, query []byte, lvl Level) (ReadResult, error) {
-	return h.nodes[h.router.Group(key)].Read(ctx, query, lvl)
+// groupForPayload routes an encoded kvstore payload through the table;
+// malformed payloads route to group 0 (every replica executes them as
+// identical deterministic no-ops, so any fixed group preserves
+// agreement).
+func (h *Host) groupForPayload(payload []byte) types.GroupID {
+	key, ok := shard.Key(payload)
+	if !ok {
+		return 0
+	}
+	return h.holder.Load().Group(key)
 }
 
 // Bind connects group g's application to that group's proposal futures
-// (see Node.Bind).
-func (h *Host) Bind(g types.GroupID, app *rsm.App) { h.nodes[g].Bind(app) }
+// (see Node.Bind), wrapping its state machine with the resharding
+// layer first: control commands (fence, install) replicated in g's log
+// mutate routing state, and data commands for migrated slots turn into
+// typed redirects instead of applies. The wrapper forwards the inner
+// machine's query and snapshot capabilities, so reads and checkpoints
+// keep working — checkpoints now carry the route state alongside the
+// data it protects.
+func (h *Host) Bind(g types.GroupID, app *rsm.App) {
+	wrapped := reshard.Wrap(g, app.SM, h.holder)
+	h.shardSMs[g] = reshard.Base(wrapped)
+	app.SM = wrapped
+	h.nodes[g].Bind(app)
+}
 
 // Start launches every group's event loop, then the shared transport,
 // then starts every protocol on its loop. Every group must have a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"clockrsm/internal/reshard"
 	"clockrsm/internal/rsm"
 	"clockrsm/internal/types"
 )
@@ -15,14 +16,40 @@ import (
 type HostStatus struct {
 	ID     types.ReplicaID
 	Groups []GroupStatus
+	// RouteVersion is the routing table's change counter at this host,
+	// RouteGroups how many groups the table actively routes to (hosted
+	// groups beyond it are spares), and RouteMigrating how many slots
+	// are mid-migration.
+	RouteVersion   uint64
+	RouteGroups    int
+	RouteMigrating int
 }
 
-// Status snapshots every group's control-plane state. It never blocks
-// on any group's event loop.
+// Status snapshots every group's control-plane state plus the routing
+// table. It never blocks on any group's event loop.
 func (h *Host) Status() HostStatus {
 	st := HostStatus{ID: h.id}
-	for _, n := range h.nodes {
-		st.Groups = append(st.Groups, n.Status())
+	t := h.holder.Load()
+	st.RouteVersion = t.Version
+	st.RouteGroups = t.Groups()
+	owned := make([]int, len(h.nodes))
+	fencing := make([]int, len(h.nodes))
+	for _, c := range t.Slots {
+		if int(c.Owner) < len(owned) {
+			owned[c.Owner]++
+			if c.Phase == reshard.Migrating {
+				fencing[c.Owner]++
+			}
+		}
+		if c.Phase == reshard.Migrating {
+			st.RouteMigrating++
+		}
+	}
+	for i, n := range h.nodes {
+		gs := n.Status()
+		gs.Slots = owned[i]
+		gs.MigratingOut = fencing[i]
+		st.Groups = append(st.Groups, gs)
 	}
 	return st
 }

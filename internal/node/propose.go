@@ -351,12 +351,19 @@ func (n *Node) flushProposals() {
 
 // completeProposal resolves the future registered for a finished
 // command. It runs on the event loop (via the Bind OnReply hook).
+// A result carrying a routing redirect means the command was fenced —
+// never executed — so its future fails with the typed wrong-group
+// error and the caller is free to resubmit at the new owner.
 func (n *Node) completeProposal(res types.Result) {
 	f, ok := n.waiters[res.ID.Seq]
 	if !ok {
 		return
 	}
 	delete(n.waiters, res.ID.Seq)
+	if to, fenced := res.RedirectGroup(); fenced {
+		f.resolve(types.Result{ID: res.ID}, &WrongGroupError{To: to})
+		return
+	}
 	f.resolve(res, nil)
 }
 

@@ -141,6 +141,12 @@ type readOp struct {
 	ts    int64
 	query []byte
 	sess  *Session
+	// gate, when set, re-validates the read at serve time (after the
+	// watermark wait, before the query). The routing layer uses it to
+	// refuse reads whose key's slot migrated away — or is mid-migration
+	// — between submit and serve, with a typed wrong-group error the
+	// caller retries against the refreshed table.
+	gate func() error
 
 	once sync.Once
 	res  ReadResult
@@ -209,6 +215,11 @@ func (q *readQueue) Pop() interface{} {
 // a replica removed from the configuration, parked reads resolve
 // ErrNotInConfig — the same sweep contract as write futures.
 func (n *Node) Read(ctx context.Context, query []byte, lvl Level) (ReadResult, error) {
+	return n.readGated(ctx, query, lvl, nil)
+}
+
+// readGated is Read with an optional serve-time gate (see readOp.gate).
+func (n *Node) readGated(ctx context.Context, query []byte, lvl Level, gate func() error) (ReadResult, error) {
 	if ctx.Err() != nil {
 		return ReadResult{}, ErrCanceled
 	}
@@ -216,9 +227,9 @@ func (n *Node) Read(ctx context.Context, query []byte, lvl Level) (ReadResult, e
 		return n.readReplicated(ctx, query)
 	}
 	if lvl.tier == TierStale {
-		return n.readStale(query, lvl)
+		return n.readStale(query, lvl, gate)
 	}
-	op := &readOp{n: n, query: query, sess: lvl.sess, done: make(chan struct{})}
+	op := &readOp{n: n, query: query, sess: lvl.sess, gate: gate, done: make(chan struct{})}
 	switch lvl.tier {
 	case TierLinearizable:
 		// Capture t before enqueueing: every write that completed before
@@ -264,13 +275,18 @@ func (n *Node) Read(ctx context.Context, query []byte, lvl Level) (ReadResult, e
 // Query is required to be safe against concurrent Apply, so the read
 // never waits on the event loop. The state queried may be newer than
 // the cached watermark, never older — Age is an upper bound.
-func (n *Node) readStale(query []byte, lvl Level) (ReadResult, error) {
+func (n *Node) readStale(query []byte, lvl Level, gate func() error) (ReadResult, error) {
 	select {
 	case <-n.quit:
 		// Keep the shutdown contract uniform across tiers: a stopped
 		// node fails reads instead of serving its frozen state forever.
 		return ReadResult{}, ErrStopped
 	default:
+	}
+	if gate != nil {
+		if err := gate(); err != nil {
+			return ReadResult{}, err
+		}
 	}
 	w := n.watermark.Load()
 	age := time.Duration(n.clk.Now() - w)
@@ -333,6 +349,12 @@ func (n *Node) execRead(op *readOp) {
 // serveRead answers one read from local state at watermark w. Runs on
 // the event loop, where local state is exactly the executed prefix.
 func (n *Node) serveRead(op *readOp, w int64) {
+	if op.gate != nil {
+		if err := op.gate(); err != nil {
+			op.resolve(ReadResult{}, err)
+			return
+		}
+	}
 	val, _ := n.app.Query(op.query)
 	// Count only reads whose result was actually delivered: a caller's
 	// cancellation can win the race right up to this resolve, and an

@@ -1,0 +1,301 @@
+package reshard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"clockrsm/internal/types"
+)
+
+// Control command op bytes. They live far above the kvstore op space
+// (1..3) so a control payload can never be mistaken for a data command
+// by any decoder, old or new.
+const (
+	// OpFence fences a slot set at the source group: replicated in the
+	// source's own log, so the fence point is a position in the group's
+	// total order — every replica stops applying writes to the moving
+	// slots at exactly the same command.
+	OpFence byte = 200
+	// OpInstall seeds the target group with the fenced slots' pairs and
+	// (on the final chunk) flips their claims to Owned at the target.
+	OpInstall byte = 201
+)
+
+// IsControl reports whether payload is a reshard control command.
+func IsControl(payload []byte) bool {
+	return len(payload) > 0 && payload[0] >= OpFence
+}
+
+// tableMagic brands the routing-table encoding ("CRT1": Clock-RSM
+// routing table v1).
+var tableMagic = []byte{'C', 'R', 'T', '1'}
+
+// ErrBadTable reports a malformed routing-table encoding.
+var ErrBadTable = errors.New("reshard: bad routing table encoding")
+
+// ErrBadControl reports a malformed control command payload.
+var ErrBadControl = errors.New("reshard: bad control command")
+
+// EncodeTable renders t in the wire/persist format: magic, version,
+// slot count, then one fixed-width claim per slot.
+func EncodeTable(t *Table) []byte {
+	buf := make([]byte, 0, len(tableMagic)+12+13*len(t.Slots))
+	buf = append(buf, tableMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, t.Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Slots)))
+	for _, c := range t.Slots {
+		buf = binary.LittleEndian.AppendUint32(buf, c.Gen)
+		buf = append(buf, byte(c.Phase))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Owner))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.To))
+	}
+	return buf
+}
+
+// DecodeTable parses an EncodeTable blob.
+func DecodeTable(buf []byte) (*Table, error) {
+	if len(buf) < len(tableMagic)+12 || string(buf[:4]) != string(tableMagic) {
+		return nil, ErrBadTable
+	}
+	version := binary.LittleEndian.Uint64(buf[4:])
+	n := binary.LittleEndian.Uint32(buf[12:])
+	rest := buf[16:]
+	if n == 0 || n > 1<<20 || len(rest) != int(n)*13 {
+		return nil, ErrBadTable
+	}
+	t := &Table{Version: version, Slots: make([]Claim, n)}
+	for s := range t.Slots {
+		rec := rest[s*13:]
+		ph := Phase(rec[4])
+		if ph != Owned && ph != Migrating {
+			return nil, ErrBadTable
+		}
+		owner := types.GroupID(binary.LittleEndian.Uint32(rec[5:]))
+		to := types.GroupID(binary.LittleEndian.Uint32(rec[9:]))
+		if owner < 0 || to < 0 {
+			return nil, ErrBadTable
+		}
+		t.Slots[s] = Claim{
+			Gen:   binary.LittleEndian.Uint32(rec),
+			Phase: ph,
+			Owner: owner,
+			To:    to,
+		}
+	}
+	return t.reindex(), nil
+}
+
+// Save atomically persists t at path (write temp, fsync, rename), so a
+// crash mid-save leaves either the old table or the new one, never a
+// torn file.
+func Save(t *Table, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(EncodeTable(t)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Load reads a table persisted by Save. A missing file returns
+// (nil, nil): the caller synthesizes the legacy table.
+func Load(path string) (*Table, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	t, err := DecodeTable(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w (at %s)", err, path)
+	}
+	return t, nil
+}
+
+// Fence is the decoded form of an OpFence control command.
+type Fence struct {
+	// Gen is the generation the fence (and the matching install)
+	// claims the slots at.
+	Gen uint32
+	// From is the source group — the group whose log carries the fence.
+	From types.GroupID
+	// To is the migration target the fenced writes redirect to.
+	To types.GroupID
+	// Slots are the fenced slots.
+	Slots []uint32
+}
+
+// EncodeFence renders f as a control payload.
+func EncodeFence(f Fence) []byte {
+	buf := make([]byte, 0, 17+4*len(f.Slots))
+	buf = append(buf, OpFence)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.To))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Slots)))
+	for _, s := range f.Slots {
+		buf = binary.LittleEndian.AppendUint32(buf, s)
+	}
+	return buf
+}
+
+// DecodeFence parses an OpFence payload.
+func DecodeFence(buf []byte) (Fence, error) {
+	if len(buf) < 17 || buf[0] != OpFence {
+		return Fence{}, ErrBadControl
+	}
+	n := binary.LittleEndian.Uint32(buf[13:])
+	if n == 0 || n > 1<<20 || len(buf) != 17+4*int(n) {
+		return Fence{}, ErrBadControl
+	}
+	f := Fence{
+		Gen:   binary.LittleEndian.Uint32(buf[1:]),
+		From:  types.GroupID(binary.LittleEndian.Uint32(buf[5:])),
+		To:    types.GroupID(binary.LittleEndian.Uint32(buf[9:])),
+		Slots: make([]uint32, n),
+	}
+	if f.From < 0 || f.To < 0 {
+		return Fence{}, ErrBadControl
+	}
+	for i := range f.Slots {
+		f.Slots[i] = binary.LittleEndian.Uint32(buf[17+4*i:])
+	}
+	return f, nil
+}
+
+// Pair is one key/value to seed into the target group.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Install is the decoded form of an OpInstall control command: one
+// chunk of the seed transfer. The final chunk additionally flips the
+// slots' claims to Owned at To.
+type Install struct {
+	// Gen matches the fence that froze the slots.
+	Gen uint32
+	// From is the source group the slots move away from.
+	From types.GroupID
+	// To is the group whose log carries the install.
+	To types.GroupID
+	// Final marks the last chunk: applying it completes the migration.
+	Final bool
+	// Slots are the migrating slots (carried on every chunk so a
+	// restart can reconstruct the claim set from any suffix).
+	Slots []uint32
+	// Pairs are this chunk's seed data.
+	Pairs []Pair
+}
+
+// EncodeInstall renders in as a control payload.
+func EncodeInstall(in Install) []byte {
+	size := 22 + 4*len(in.Slots)
+	for _, p := range in.Pairs {
+		size += 8 + len(p.Key) + len(p.Value)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, OpInstall)
+	buf = binary.LittleEndian.AppendUint32(buf, in.Gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(in.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(in.To))
+	if in.Final {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(in.Slots)))
+	for _, s := range in.Slots {
+		buf = binary.LittleEndian.AppendUint32(buf, s)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(in.Pairs)))
+	for _, p := range in.Pairs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Key)))
+		buf = append(buf, p.Key...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Value)))
+		buf = append(buf, p.Value...)
+	}
+	return buf
+}
+
+// DecodeInstall parses an OpInstall payload.
+func DecodeInstall(buf []byte) (Install, error) {
+	if len(buf) < 22 || buf[0] != OpInstall || buf[13] > 1 {
+		return Install{}, ErrBadControl
+	}
+	in := Install{
+		Gen:   binary.LittleEndian.Uint32(buf[1:]),
+		From:  types.GroupID(binary.LittleEndian.Uint32(buf[5:])),
+		To:    types.GroupID(binary.LittleEndian.Uint32(buf[9:])),
+		Final: buf[13] == 1,
+	}
+	if in.From < 0 || in.To < 0 {
+		return Install{}, ErrBadControl
+	}
+	ns := binary.LittleEndian.Uint32(buf[14:])
+	if ns == 0 || ns > 1<<20 || len(buf) < 18+4*int(ns)+4 {
+		return Install{}, ErrBadControl
+	}
+	in.Slots = make([]uint32, ns)
+	for i := range in.Slots {
+		in.Slots[i] = binary.LittleEndian.Uint32(buf[18+4*i:])
+	}
+	rest := buf[18+4*int(ns):]
+	np := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if np > 1<<24 {
+		return Install{}, ErrBadControl
+	}
+	in.Pairs = make([]Pair, 0, np)
+	for i := uint32(0); i < np; i++ {
+		if len(rest) < 4 {
+			return Install{}, ErrBadControl
+		}
+		kl := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if int64(kl)+4 > int64(len(rest)) {
+			return Install{}, ErrBadControl
+		}
+		key := string(rest[:kl])
+		rest = rest[kl:]
+		vl := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if int64(vl) > int64(len(rest)) {
+			return Install{}, ErrBadControl
+		}
+		val := append([]byte(nil), rest[:vl]...)
+		rest = rest[vl:]
+		in.Pairs = append(in.Pairs, Pair{Key: key, Value: val})
+	}
+	if len(rest) != 0 {
+		return Install{}, ErrBadControl
+	}
+	return in, nil
+}

@@ -1,0 +1,175 @@
+package reshard
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := Legacy(3)
+	t.Version = 42
+	t.Slots[0] = Claim{Gen: 7, Phase: Migrating, Owner: 0, To: 5}
+	t.Slots[17] = Claim{Gen: 3, Phase: Owned, Owner: 4}
+	return t
+}
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	want := sampleTable()
+	got, err := DecodeTable(EncodeTable(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || !reflect.DeepEqual(got.Slots, want.Slots) {
+		t.Fatal("table did not round-trip")
+	}
+}
+
+func TestTableCodecRejectsGarbage(t *testing.T) {
+	enc := EncodeTable(sampleTable())
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     enc[:10],
+		"bad magic": append([]byte("XXXX"), enc[4:]...),
+		"truncated": enc[:len(enc)-5],
+		"trailing":  append(append([]byte(nil), enc...), 0),
+		"bad phase": append(append([]byte(nil), enc[:16+4]...), append([]byte{9}, enc[16+5:]...)...),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeTable(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "routes")
+	// Missing file: (nil, nil), the caller synthesizes the legacy table.
+	if tbl, err := Load(path); tbl != nil || err != nil {
+		t.Fatalf("Load(missing) = %v, %v; want nil, nil", tbl, err)
+	}
+	want := sampleTable()
+	if err := Save(want, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || !reflect.DeepEqual(got.Slots, want.Slots) {
+		t.Fatal("table did not survive Save/Load")
+	}
+}
+
+func TestFenceCodecRoundTrip(t *testing.T) {
+	want := Fence{Gen: 9, From: 1, To: 4, Slots: []uint32{3, 5, 250}}
+	enc := EncodeFence(want)
+	if !IsControl(enc) {
+		t.Fatal("fence payload not recognized as control")
+	}
+	got, err := DecodeFence(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fence round-trip: got %+v, want %+v", got, want)
+	}
+	for _, bad := range [][]byte{{}, enc[:5], append(append([]byte(nil), enc...), 1)} {
+		if _, err := DecodeFence(bad); err == nil {
+			t.Error("malformed fence decoded without error")
+		}
+	}
+}
+
+func TestInstallCodecRoundTrip(t *testing.T) {
+	want := Install{
+		Gen: 2, From: 0, To: 3, Final: true,
+		Slots: []uint32{10, 12},
+		Pairs: []Pair{
+			{Key: "a", Value: []byte("1")},
+			{Key: "empty", Value: []byte{}},
+			{Key: "blob", Value: bytes.Repeat([]byte{0xee}, 300)},
+		},
+	}
+	enc := EncodeInstall(want)
+	if !IsControl(enc) {
+		t.Fatal("install payload not recognized as control")
+	}
+	got, err := DecodeInstall(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != want.Gen || got.From != want.From || got.To != want.To || got.Final != want.Final ||
+		!reflect.DeepEqual(got.Slots, want.Slots) || len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("install round-trip: got %+v, want %+v", got, want)
+	}
+	for i, p := range got.Pairs {
+		// bytes.Equal, not DeepEqual: a zero-length value may decode
+		// as nil, which the store treats identically.
+		if p.Key != want.Pairs[i].Key || !bytes.Equal(p.Value, want.Pairs[i].Value) {
+			t.Fatalf("pair %d did not round-trip: %+v vs %+v", i, p, want.Pairs[i])
+		}
+	}
+	for _, bad := range [][]byte{{}, enc[:12], enc[:len(enc)-1], append(append([]byte(nil), enc...), 9)} {
+		if _, err := DecodeInstall(bad); err == nil {
+			t.Error("malformed install decoded without error")
+		}
+	}
+	// No pairs (a pure flip chunk) is legal.
+	flip := Install{Gen: 1, From: 0, To: 1, Final: true, Slots: []uint32{0}}
+	if got, err := DecodeInstall(EncodeInstall(flip)); err != nil || len(got.Pairs) != 0 {
+		t.Fatalf("pair-less install: %+v, %v", got, err)
+	}
+}
+
+// FuzzTableCodec feeds arbitrary bytes to DecodeTable: it must never
+// panic, and anything it accepts must re-encode to a blob that decodes
+// to the same table (the persist/wire format is self-consistent).
+func FuzzTableCodec(f *testing.F) {
+	f.Add(EncodeTable(Legacy(1)))
+	f.Add(EncodeTable(Legacy(4)))
+	f.Add(EncodeTable(sampleTable()))
+	f.Add([]byte("CRT1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := DecodeTable(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeTable(EncodeTable(tbl))
+		if err != nil {
+			t.Fatalf("re-decode of accepted table failed: %v", err)
+		}
+		if re.Version != tbl.Version || !reflect.DeepEqual(re.Slots, tbl.Slots) {
+			t.Fatal("accepted table did not round-trip")
+		}
+		// Accepted tables must be servable: every routing entry point
+		// must stay in bounds.
+		_ = tbl.Group("probe")
+		_ = tbl.Groups()
+		_ = tbl.Migrations()
+	})
+}
+
+// FuzzControlCodec does the same for the fence and install decoders,
+// which parse replicated log payloads.
+func FuzzControlCodec(f *testing.F) {
+	f.Add(EncodeFence(Fence{Gen: 1, From: 0, To: 1, Slots: []uint32{1}}))
+	f.Add(EncodeInstall(Install{Gen: 1, From: 0, To: 1, Final: true, Slots: []uint32{1}, Pairs: []Pair{{Key: "k", Value: []byte("v")}}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if fe, err := DecodeFence(data); err == nil {
+			if got, err := DecodeFence(EncodeFence(fe)); err != nil || !reflect.DeepEqual(got, fe) {
+				t.Fatal("accepted fence did not round-trip")
+			}
+		}
+		if in, err := DecodeInstall(data); err == nil {
+			re, err := DecodeInstall(EncodeInstall(in))
+			if err != nil || re.Gen != in.Gen || re.Final != in.Final ||
+				!reflect.DeepEqual(re.Slots, in.Slots) || len(re.Pairs) != len(in.Pairs) {
+				t.Fatal("accepted install did not round-trip")
+			}
+		}
+	})
+}

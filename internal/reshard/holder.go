@@ -1,0 +1,76 @@
+package reshard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Holder owns one host's live routing table: an atomic pointer every
+// router and read gate loads lock-free, with a writer lock serializing
+// the (rare) merges that fence and install commands perform at apply
+// time. When a persist path is set, every visible change is saved
+// atomically, so a restarted host resumes routing from its last
+// observed table instead of the legacy layout.
+type Holder struct {
+	mu   sync.Mutex
+	cur  atomic.Pointer[Table]
+	path string
+	serr atomic.Pointer[error]
+}
+
+// NewHolder starts a holder at t, persisting changes to path when path
+// is non-empty.
+func NewHolder(t *Table, path string) *Holder {
+	h := &Holder{path: path}
+	h.cur.Store(t)
+	return h
+}
+
+// Load returns the current table. The returned table is immutable.
+func (h *Holder) Load() *Table { return h.cur.Load() }
+
+// Path returns the persist path ("" when not persisting).
+func (h *Holder) Path() string { return h.path }
+
+// Merge folds claims into the table under the monotone order and
+// returns the resulting table. Stale claims are no-ops.
+func (h *Holder) Merge(claims map[uint32]Claim) *Table {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	nt, changed := h.cur.Load().Merge(claims)
+	if changed {
+		h.persist(nt)
+		h.cur.Store(nt)
+	}
+	return nt
+}
+
+// MergeTable folds every claim of t (e.g. a table carried inside a
+// state-transfer snapshot) into the current table.
+func (h *Holder) MergeTable(t *Table) *Table {
+	claims := make(map[uint32]Claim, len(t.Slots))
+	for s, c := range t.Slots {
+		claims[uint32(s)] = c
+	}
+	return h.Merge(claims)
+}
+
+// persist saves nt best-effort; the table stays authoritative in
+// memory (it is rebuilt from the replicated logs on restart anyway),
+// so a failed save is recorded but does not fail the apply.
+func (h *Holder) persist(nt *Table) {
+	if h.path == "" {
+		return
+	}
+	if err := Save(nt, h.path); err != nil {
+		h.serr.Store(&err)
+	}
+}
+
+// SaveErr returns the most recent persist failure, if any.
+func (h *Holder) SaveErr() error {
+	if p := h.serr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -326,12 +326,13 @@ func (sc *srvConn) handle(req Request, key string, value []byte) {
 		case VDel:
 			payload = kvstore.Delete(key)
 		}
-		var fut *node.Future
-		if fut, err = sc.s.host.ProposeKey(ctx, key, payload); err == nil {
-			var res types.Result
-			res, err = fut.Wait(ctx)
-			resp.Value = res.Value
-		}
+		// Execute retries through routing changes server-side: a command
+		// fenced by a live split resubmits at the key's new group once
+		// the table flips, so clients only see StatusWrongGroup when a
+		// migration outlives the wait bound.
+		var res types.Result
+		res, err = sc.s.host.Execute(ctx, key, payload)
+		resp.Value = res.Value
 	case VGetL, VGetS, VGetA:
 		var lvl node.Level
 		var sess node.Session

@@ -115,6 +115,13 @@ const (
 	// before the command resolved. The command may still commit later —
 	// resubmit safety is unknown for writes.
 	StatusTimeout
+	// StatusWrongGroup mirrors node.ErrWrongGroup: the command's key
+	// migrated to another replication group (a live split) and the
+	// command was fenced without executing. Resubmitting is always safe;
+	// the server retries through the refreshed routing table itself, so
+	// a client normally only sees this when a migration outlives the
+	// server-side wait bound.
+	StatusWrongGroup
 	maxStatus
 )
 
@@ -123,6 +130,7 @@ var statusNames = map[Status]string{
 	StatusOverloaded: "OVERLOADED", StatusNotInConfig: "NOTINCONFIG",
 	StatusReconfigured: "RECONFIGURED", StatusTooStale: "TOOSTALE",
 	StatusStopped: "STOPPED", StatusTimeout: "TIMEOUT",
+	StatusWrongGroup: "WRONGGROUP",
 }
 
 // String names the status.
@@ -171,6 +179,8 @@ func (s Status) Err(detail []byte) error {
 		return node.ErrStopped
 	case StatusTimeout:
 		return ErrTimeout
+	case StatusWrongGroup:
+		return node.ErrWrongGroup
 	case StatusBadRequest:
 		if len(detail) > 0 {
 			return fmt.Errorf("%w: %s", ErrBadRequest, detail)
@@ -203,6 +213,8 @@ func StatusFor(err error) Status {
 		// same wire status as the front door's own budgets: one overload
 		// signal for clients, wherever the budget lives.
 		return StatusOverloaded
+	case errors.Is(err, node.ErrWrongGroup):
+		return StatusWrongGroup
 	case errors.Is(err, ErrTimeout):
 		return StatusTimeout
 	default:

@@ -121,8 +121,20 @@ type App struct {
 	applied uint64
 }
 
+// Redirector is optionally implemented by state machines that can
+// refuse a command because its key has moved to another replication
+// group (the resharding fence). TakeRedirect reports whether the most
+// recent Apply was fenced, and the group the key now belongs to; the
+// flag is consumed by the call.
+type Redirector interface {
+	TakeRedirect() (types.GroupID, bool)
+}
+
 // Execute applies cmd, bumps the execution counter, and routes the reply
-// if the command originated at self.
+// if the command originated at self. If the state machine fenced the
+// command (Redirector), the reply carries the redirect instead of a
+// value, so the origin can fail the proposal with a typed wrong-group
+// error.
 func (a *App) Execute(self types.ReplicaID, ts types.Timestamp, cmd types.Command) {
 	out := a.SM.Apply(cmd.Payload)
 	a.applied++
@@ -130,7 +142,13 @@ func (a *App) Execute(self types.ReplicaID, ts types.Timestamp, cmd types.Comman
 		a.OnCommit(ts, cmd)
 	}
 	if a.OnReply != nil && cmd.ID.Origin == self {
-		a.OnReply(types.Result{ID: cmd.ID, Value: out})
+		res := types.Result{ID: cmd.ID, Value: out}
+		if rd, ok := a.SM.(Redirector); ok {
+			if g, fenced := rd.TakeRedirect(); fenced {
+				res.SetRedirect(g)
+			}
+		}
+		a.OnReply(res)
 	}
 }
 

@@ -1,0 +1,627 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
+	"clockrsm/internal/reshard"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// SplitChurnConfig describes a split-churn experiment: a multi-group
+// cluster over real TCP transports and real file logs serving a
+// closed-loop client population while the key space is resharded live —
+// first by a coordinator that crashes between its checkpoint and the
+// ownership flip (healed by racing coordinators on other replicas),
+// then by a clean split — with per-key linearizability asserted across
+// the split boundary throughout.
+type SplitChurnConfig struct {
+	// Dir is where replica logs and routing tables live (required;
+	// group g of replica r is Dir/r<r>.g<g>.log, its routing table
+	// Dir/r<r>.routes).
+	Dir string
+	// Replicas is the cluster size (default 3).
+	Replicas int
+	// Groups is the number of groups the genesis routing table routes to
+	// (default 2).
+	Groups int
+	// Spares is the extra hosted capacity splits grow into (default 2:
+	// one target for the crash-healed split, one for the clean split).
+	Spares int
+	// Clients is the closed-loop writer count (default 6; rounded up to
+	// a multiple of 3 so every key category — staying slot, migrating
+	// slot, other group — sees load).
+	Clients int
+	// Settle is how long load runs between resharding steps (default
+	// 250 ms).
+	Settle time.Duration
+	// StepTimeout bounds each proposal and read wait (default 20 s; it
+	// must cover the fence-to-heal window, during which writes to
+	// migrating keys park).
+	StepTimeout time.Duration
+	// ConvergeTimeout bounds the waits for routing tables and stores to
+	// converge across replicas (default 15 s).
+	ConvergeTimeout time.Duration
+	// Mode is the WAL fsync mode (default storage.SyncBatch).
+	Mode storage.SyncMode
+	// CheckpointEvery is the snapshot/compaction interval in commands
+	// (default 16).
+	CheckpointEvery int
+	// Delta is the CLOCKTIME interval (default 2 ms).
+	Delta time.Duration
+	// Debug, when set, receives progress lines (testing.T.Logf fits).
+	Debug func(format string, args ...any)
+}
+
+func (c SplitChurnConfig) withDefaults() SplitChurnConfig {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if c.Spares <= 0 {
+		c.Spares = 2
+	}
+	if c.Clients == 0 {
+		c.Clients = 6
+	}
+	if r := c.Clients % 3; r != 0 {
+		c.Clients += 3 - r
+	}
+	if c.Settle == 0 {
+		c.Settle = 250 * time.Millisecond
+	}
+	if c.StepTimeout == 0 {
+		c.StepTimeout = 20 * time.Second
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 15 * time.Second
+	}
+	if c.Mode == storage.SyncDefault {
+		c.Mode = storage.SyncBatch
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 16
+	}
+	if c.Delta == 0 {
+		c.Delta = 2 * time.Millisecond
+	}
+	return c
+}
+
+// SplitChurnResult reports one split-churn run that passed all
+// correctness assertions.
+type SplitChurnResult struct {
+	// Acked is the number of writes whose futures resolved.
+	Acked uint64
+	// Resubmitted counts proposals retried after an ambiguous failure.
+	Resubmitted uint64
+	// Reads is the number of linearizable cross-replica reads that
+	// checked acked writes stayed visible across the split boundary.
+	Reads uint64
+	// Splits is the number of completed splits (including the healed
+	// one).
+	Splits int
+	// HealedSlots is the number of slots the racing Heal calls rolled
+	// forward after the coordinator crash.
+	HealedSlots int
+	// MovedPairs is the total key/value pairs seeded into split targets.
+	MovedPairs int
+	// RouteVersion is the highest routing-table version any replica
+	// reached.
+	RouteVersion uint64
+	// FenceStall is the longest observed write stall attributable to the
+	// fence-to-heal window.
+	FenceStall time.Duration
+}
+
+// splitKeyFor finds a key whose slot falls in the wanted category under
+// the genesis table: 0 = source-group slot that stays, 1 = source-group
+// slot the first split moves, 2 = any other group. Categories are
+// derived from the same PlanSplit the coordinator will run, so the
+// client population provably covers both sides of the boundary.
+func splitKeyFor(tbl *reshard.Table, moved map[int]bool, cli, cat int) string {
+	for salt := 0; ; salt++ {
+		key := fmt.Sprintf("c%d-%d", cli, salt)
+		slot := tbl.SlotOf(key)
+		owner := tbl.Slots[slot].Owner
+		switch cat {
+		case 0:
+			if owner == 0 && !moved[slot] {
+				return key
+			}
+		case 1:
+			if moved[slot] {
+				return key
+			}
+		default:
+			if owner != 0 {
+				return key
+			}
+		}
+	}
+}
+
+// RunSplitChurn stands up a Replicas×(Groups+Spares) cluster over TCP
+// and file logs with Groups active groups, then — under closed-loop
+// load — drives two live splits of group 0 and group 1 into the spare
+// groups. The first split's coordinator is killed between its
+// checkpoint and the ownership flip (OnPhase abort: the coordinator
+// holds no state of its own, so an abort models a process death
+// exactly); two racing coordinators on other replicas then Heal
+// concurrently. It verifies:
+//
+//   - zero lost acked commands: for every key, the converged value's
+//     sequence number is at least the last acked write's — including
+//     keys whose slots migrated mid-run;
+//   - no duplicated execution: a fenced command is never applied, so
+//     the per-key sequence read back never regresses (a stale
+//     re-execution would);
+//   - per-key linearizability across the split boundary: a
+//     linearizable read at another replica observes every write acked
+//     before it was issued, before, during and after migration;
+//   - exactly one routing outcome: however many coordinators raced the
+//     heal, every replica's table converges to the same claims, with
+//     every moved slot Owned by its target at the planned generation;
+//   - agreement: every replica's store serializes to identical bytes,
+//     group by group, and the routing tables persisted to disk reload.
+func RunSplitChurn(cfg SplitChurnConfig) (*SplitChurnResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("runner: SplitChurnConfig.Dir is required")
+	}
+	debugf := func(format string, args ...any) {
+		if cfg.Debug != nil {
+			cfg.Debug(format, args...)
+		}
+	}
+	n := cfg.Replicas
+	hosted := cfg.Groups + cfg.Spares
+	addrs, err := freeAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	spec := make([]types.ReplicaID, n)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+
+	// The genesis table and the first split's plan, computed up front so
+	// client keys can be placed on both sides of the boundary. PlanSplit
+	// is deterministic over the same table, so this matches exactly what
+	// the coordinator will fence.
+	genesis := reshard.Legacy(cfg.Groups)
+	dst1 := types.GroupID(cfg.Groups)
+	planned, gen1, err := genesis.PlanSplit(0, dst1)
+	if err != nil {
+		return nil, err
+	}
+	moved := make(map[int]bool, len(planned))
+	for _, s := range planned {
+		moved[int(s)] = true
+	}
+
+	start := func(id types.ReplicaID) (*liveReplica, error) {
+		logs := make([]storage.Log, hosted)
+		for g := 0; g < hosted; g++ {
+			path := filepath.Join(cfg.Dir, fmt.Sprintf("r%d.g%d.log", id, g))
+			fl, err := storage.OpenFileLog(path, storage.FileLogOptions{Mode: cfg.Mode})
+			if err != nil {
+				return nil, fmt.Errorf("replica %v: %w", id, err)
+			}
+			logs[g] = fl
+		}
+		tr := transport.NewTCP(id, addrs, transport.TCPOptions{
+			Groups:    hosted,
+			DialRetry: 50 * time.Millisecond,
+		})
+		host, err := node.NewHost(id, spec, tr, node.HostOptions{
+			Groups:     hosted,
+			NewLog:     func(g types.GroupID) storage.Log { return logs[g] },
+			Table:      genesis,
+			RoutesPath: filepath.Join(cfg.Dir, fmt.Sprintf("r%d.routes", id)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		lr := &liveReplica{host: host, stores: make([]*kvstore.Store, hosted)}
+		for g := 0; g < hosted; g++ {
+			store := kvstore.New()
+			lr.stores[g] = store
+			app := &rsm.App{SM: store}
+			nd := host.Group(types.GroupID(g))
+			host.Bind(types.GroupID(g), app)
+			nd.SetProtocol(core.New(nd, app, core.Options{
+				ClockTimeInterval: cfg.Delta,
+				CheckpointEvery:   cfg.CheckpointEvery,
+			}))
+		}
+		if err := host.Start(); err != nil {
+			return nil, err
+		}
+		return lr, nil
+	}
+
+	reps := make([]*liveReplica, n)
+	for i := 0; i < n; i++ {
+		lr, err := start(types.ReplicaID(i))
+		if err != nil {
+			for j := 0; j < i; j++ {
+				reps[j].host.Stop()
+			}
+			return nil, err
+		}
+		reps[i] = lr
+	}
+	defer func() {
+		for _, lr := range reps {
+			lr.host.Stop()
+		}
+	}()
+
+	// acks tracks, per key, the highest acked sequence number — the
+	// writes the run must prove survived the splits.
+	acks := struct {
+		sync.Mutex
+		last map[string]int
+	}{last: make(map[string]int)}
+	lastAcked := func(key string) int {
+		acks.Lock()
+		defer acks.Unlock()
+		if s, ok := acks.last[key]; ok {
+			return s
+		}
+		return -1
+	}
+
+	res := &SplitChurnResult{}
+	var ackedN, resubmitted, readsN atomic.Uint64
+	var maxStall atomic.Int64
+
+	stop := make(chan struct{})
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	clientKeys := make([]string, cfg.Clients)
+	for c := range clientKeys {
+		clientKeys[c] = splitKeyFor(genesis, moved, c, c%3)
+	}
+	var wg sync.WaitGroup
+	clientErrs := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := clientKeys[c]
+			for seq := 0; !stopped(); seq++ {
+				payload := kvstore.Put(key, []byte(fmt.Sprintf("c%d-%d", c, seq)))
+				// Execute routes by the live table and retries through the
+				// fence window itself; resubmitting the same payload after a
+				// timeout can at worst commit the same value twice in a row,
+				// which the monotone per-key sequence checks tolerate.
+				issued := time.Now()
+				for !stopped() {
+					target := reps[c%n]
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+					_, err := target.host.Execute(ctx, key, payload)
+					cancel()
+					if err == nil {
+						acks.Lock()
+						acks.last[key] = seq
+						acks.Unlock()
+						ackedN.Add(1)
+						if d := time.Since(issued); d > time.Duration(maxStall.Load()) {
+							maxStall.Store(int64(d))
+						}
+						break
+					}
+					resubmitted.Add(1)
+				}
+				// Every few acked writes, check per-key linearizability from
+				// a different replica: a linearizable read must observe
+				// everything acked before it was issued — the property the
+				// split must preserve across the boundary.
+				if seq%4 != 3 || stopped() {
+					continue
+				}
+				floor := lastAcked(key)
+				if floor < 0 {
+					continue
+				}
+				rd := reps[(c+1)%n]
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+				rres, err := rd.host.ReadKey(ctx, key, kvstore.Get(key), node.Linearizable)
+				cancel()
+				switch {
+				case err == nil:
+					got, perr := parseSeq(rres.Value)
+					if perr != nil || got < floor {
+						clientErrs[c] = fmt.Errorf("client %d: linearizable read of %q at %v returned seq %d (%v), but seq %d was acked before the read",
+							c, key, rd.host.ID(), got, perr, floor)
+						return
+					}
+					readsN.Add(1)
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, node.ErrStopped):
+					// Mid-migration stall that outlived the bound; the next
+					// read will check the floor.
+				default:
+					clientErrs[c] = fmt.Errorf("client %d: read of %q: %w", c, key, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	churnErr := func() error {
+		// Seed enough keys into the migrating range that the install
+		// phase needs multiple chunks — the checkpoint must carry every
+		// one of them across.
+		seeded := 0
+		for salt := 0; seeded < 2*reshard.DefaultChunkPairs; salt++ {
+			key := fmt.Sprintf("seed-%d", salt)
+			if !moved[genesis.SlotOf(key)] {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+			_, err := reps[0].host.Execute(ctx, key, kvstore.Put(key, []byte(key)))
+			cancel()
+			if err != nil {
+				return fmt.Errorf("seed %q: %w", key, err)
+			}
+			seeded++
+		}
+		debugf("seeded %d keys into the migrating range", seeded)
+		time.Sleep(cfg.Settle)
+
+		// Split 1, coordinator crash: the coordinator on replica 0
+		// fences and checkpoints, then dies before proposing a single
+		// install — the moved slots are frozen with no new owner.
+		co := reps[0].host.Coordinator()
+		crashed := errors.New("coordinator crashed")
+		co.OnPhase = func(phase string) error {
+			debugf("split g0->g%d phase %s", dst1, phase)
+			if phase == reshard.PhaseInstall {
+				return crashed
+			}
+			return nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+		_, err := co.Split(ctx, 0, dst1)
+		cancel()
+		if !errors.Is(err, crashed) {
+			return fmt.Errorf("crash-injected split returned %v, want the injected crash", err)
+		}
+
+		// The fence replicated through group 0's log, so every replica's
+		// table learns the migration; wait for the healers to see it.
+		deadline := time.Now().Add(cfg.ConvergeTimeout)
+		for i := 1; i < n; i++ {
+			for len(reps[i].host.Table().Migrations()) != len(planned) {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("replica %d never observed the fence (table %v)", i, reps[i].host.Table())
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		debugf("fence visible cluster-wide; %d slots frozen", len(planned))
+		time.Sleep(cfg.Settle / 4)
+
+		// Heal from two replicas concurrently: racing coordinators must
+		// converge on exactly one routing outcome (generation-checked
+		// installs make the duplicate a no-op).
+		healErrs := make([]error, 2)
+		healReps := make([][]*reshard.SplitReport, 2)
+		var healWG sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			healWG.Add(1)
+			go func(i int) {
+				defer healWG.Done()
+				hctx, hcancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+				defer hcancel()
+				healReps[i], healErrs[i] = reps[i+1].host.Heal(hctx)
+			}(i)
+		}
+		healWG.Wait()
+		for i, err := range healErrs {
+			if err != nil {
+				return fmt.Errorf("heal on replica %d: %w", i+1, err)
+			}
+		}
+		healed := 0
+		for i, rs := range healReps {
+			for _, r := range rs {
+				debugf("heal on replica %d rolled forward %v->%v gen=%d slots=%d pairs=%d",
+					i+1, r.From, r.To, r.Gen, r.Slots, r.Pairs)
+				healed += r.Slots
+				res.MovedPairs += r.Pairs
+			}
+		}
+		if healed < len(planned) {
+			return fmt.Errorf("heals rolled forward %d slots, want at least the %d frozen", healed, len(planned))
+		}
+		res.HealedSlots = healed
+		res.Splits++
+
+		// Exactly one routing outcome: every replica's claims converge,
+		// every planned slot Owned by the target at the planned
+		// generation.
+		if err := waitTables(reps, planned, dst1, gen1, cfg.ConvergeTimeout); err != nil {
+			return err
+		}
+		debugf("healed split converged: %v", reps[0].host.Table())
+		time.Sleep(cfg.Settle)
+
+		// Split 2, clean: a second coordinator splits group 1 into the
+		// next spare under the same load, no crash.
+		dst2 := types.GroupID(cfg.Groups + 1)
+		if int(dst2) < hosted {
+			plan2, gen2, err := reps[1].host.Table().PlanSplit(1, dst2)
+			if err != nil {
+				return err
+			}
+			sctx, scancel := context.WithTimeout(context.Background(), cfg.StepTimeout)
+			rep, err := reps[1].host.Split(sctx, 1, dst2)
+			scancel()
+			if err != nil {
+				return fmt.Errorf("clean split g1->g%d: %w", dst2, err)
+			}
+			debugf("clean split %v->%v gen=%d slots=%d pairs=%d chunks=%d",
+				rep.From, rep.To, rep.Gen, rep.Slots, rep.Pairs, rep.Chunks)
+			if rep.Slots != len(plan2) {
+				return fmt.Errorf("clean split moved %d slots, planned %d", rep.Slots, len(plan2))
+			}
+			res.MovedPairs += rep.Pairs
+			res.Splits++
+			if err := waitTables(reps, plan2, dst2, gen2, cfg.ConvergeTimeout); err != nil {
+				return err
+			}
+			time.Sleep(cfg.Settle)
+		}
+		return nil
+	}()
+	close(stop)
+	wg.Wait()
+	if churnErr != nil {
+		return nil, churnErr
+	}
+	for _, err := range clientErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Acked = ackedN.Load()
+	res.Resubmitted = resubmitted.Load()
+	res.Reads = readsN.Load()
+	res.FenceStall = time.Duration(maxStall.Load())
+	for _, lr := range reps {
+		if v := lr.host.Table().Version; v > res.RouteVersion {
+			res.RouteVersion = v
+		}
+	}
+
+	// Agreement: every replica's store serializes to the same bytes,
+	// group by group (the wait covers apply lag on non-proposing
+	// replicas).
+	deadline := time.Now().Add(cfg.ConvergeTimeout)
+	for {
+		agree := true
+		var detail string
+		for g := 0; g < hosted && agree; g++ {
+			ref := reps[0].stores[g].Snapshot()
+			for i := 1; i < n; i++ {
+				if !bytes.Equal(ref, reps[i].stores[g].Snapshot()) {
+					agree = false
+					detail = fmt.Sprintf("group %d: replica 0 (%d keys) and replica %d (%d keys) diverge",
+						g, reps[0].stores[g].Len(), i, reps[i].stores[g].Len())
+					break
+				}
+			}
+		}
+		if agree {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("split-churn: stores never converged: %s", detail)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Zero lost acked commands across the boundary: each key's value in
+	// its (possibly new) owning group is at least as new as the last
+	// acked write.
+	tbl := reps[0].host.Table()
+	for c := 0; c < cfg.Clients; c++ {
+		key := clientKeys[c]
+		floor := lastAcked(key)
+		if floor < 0 {
+			continue
+		}
+		g := tbl.Group(key)
+		val, ok := reps[0].stores[g].Lookup(key)
+		if !ok {
+			return nil, fmt.Errorf("split-churn: key %q (group %v) lost: seq %d was acked but the key is absent after convergence", key, g, floor)
+		}
+		got, err := parseSeq(val)
+		if err != nil {
+			return nil, fmt.Errorf("split-churn: key %q holds %q: %v", key, val, err)
+		}
+		if got < floor {
+			return nil, fmt.Errorf("split-churn: key %q converged to seq %d, but seq %d was acked (acked command lost or stale duplicate executed)", key, got, floor)
+		}
+	}
+
+	// The persisted routing tables reload to the converged claims: a
+	// restarted replica would route identically.
+	for i := 0; i < n; i++ {
+		saved, err := reshard.Load(filepath.Join(cfg.Dir, fmt.Sprintf("r%d.routes", i)))
+		if err != nil {
+			return nil, fmt.Errorf("split-churn: reload routes of replica %d: %w", i, err)
+		}
+		if saved == nil || !reflect.DeepEqual(saved.Slots, reps[i].host.Table().Slots) {
+			return nil, fmt.Errorf("split-churn: replica %d's persisted routing table does not match its live table", i)
+		}
+		if err := reps[i].host.Holder().SaveErr(); err != nil {
+			return nil, fmt.Errorf("split-churn: replica %d routing-table persist error: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// waitTables waits until every replica's routing table shows each slot
+// in slots Owned by dst at generation gen and no migrations remain
+// anywhere, then cross-checks that all replicas hold identical claims —
+// the "exactly one routing outcome" assertion.
+func waitTables(reps []*liveReplica, slots []uint32, dst types.GroupID, gen uint32, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		var detail string
+		for i, lr := range reps {
+			t := lr.host.Table()
+			for _, s := range slots {
+				c := t.Slots[s]
+				if c.Phase != reshard.Owned || c.Owner != dst || c.Gen != gen {
+					ok = false
+					detail = fmt.Sprintf("replica %d slot %d = %+v, want Owned by %v at gen %d", i, s, c, dst, gen)
+				}
+			}
+			if len(t.Migrations()) != 0 {
+				ok = false
+				detail = fmt.Sprintf("replica %d still shows migrations", i)
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("split-churn: routing tables never converged: %s", detail)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ref := reps[0].host.Table().Slots
+	for i := 1; i < len(reps); i++ {
+		if !reflect.DeepEqual(ref, reps[i].host.Table().Slots) {
+			return fmt.Errorf("split-churn: replicas 0 and %d converged to different routing claims", i)
+		}
+	}
+	return nil
+}

@@ -19,8 +19,12 @@ const (
 	fnvPrime32  = 16777619
 )
 
-// hashKey returns the FNV-1a hash of key.
-func hashKey(key string) uint32 {
+// Hash returns the FNV-1a hash of key — the single hash every routing
+// layer (this fixed router and the reshard slot table) derives a key's
+// placement from. Exported so the slot table maps keys to slots with
+// the same bytes-to-bits function, which is what makes the initial
+// slot table placement-identical to hash-mod-G.
+func Hash(key string) uint32 {
 	h := uint32(fnvOffset32)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
@@ -53,7 +57,7 @@ func (r *Router) Group(key string) types.GroupID {
 	if r.groups == 1 {
 		return 0
 	}
-	return types.GroupID(hashKey(key) % r.groups)
+	return types.GroupID(Hash(key) % r.groups)
 }
 
 // GroupForPayload routes an encoded kvstore command payload by its key.
@@ -69,6 +73,17 @@ func (r *Router) GroupForPayload(payload []byte) types.GroupID {
 		return 0
 	}
 	return r.Group(cmd.Key)
+}
+
+// Key extracts the routing key from an encoded kvstore command
+// payload. The second result is false for payloads that are not
+// well-formed kvstore commands (they route to group 0 by convention).
+func Key(payload []byte) (string, bool) {
+	cmd, err := kvstore.Decode(payload)
+	if err != nil {
+		return "", false
+	}
+	return cmd.Key, true
 }
 
 // LogPath names group g's stable log file under a base path. Group 0

@@ -95,6 +95,22 @@ func (c Command) Clone() Command {
 type Result struct {
 	ID    CommandID
 	Value []byte
+	// Redirect, when nonzero, records that the command was NOT executed
+	// because its key's slot has migrated to another replication group;
+	// the target group is encoded as group+1 so the zero value keeps
+	// meaning "no redirect". Use SetRedirect/RedirectGroup.
+	Redirect int32
+}
+
+// SetRedirect marks the result as a routing redirect to group g.
+func (r *Result) SetRedirect(g GroupID) { r.Redirect = int32(g) + 1 }
+
+// RedirectGroup returns the redirect target, if any.
+func (r Result) RedirectGroup() (GroupID, bool) {
+	if r.Redirect == 0 {
+		return 0, false
+	}
+	return GroupID(r.Redirect - 1), true
 }
 
 // Epoch numbers configurations; it increases by one at every
