@@ -53,6 +53,21 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 			fmt.Fprintf(&b, " rpc=(conns=%d inflight=%d accepted=%d shed=%d)",
 				cs.Conns, cs.InFlight, cs.Accepted, cs.Shed)
 		}
+		if len(st.Faults) > 0 {
+			keys := make([]string, 0, len(st.Faults))
+			for k := range st.Faults {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString(" faults=(")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s=%d", k, st.Faults[k])
+			}
+			b.WriteString(")")
+		}
 		for _, g := range st.Groups {
 			fmt.Fprintf(&b, " %s=(epoch=%d members=%s in=%t inflight=%d proposed=%d resolved=%d lat_n=%d lat_mean=%s lat_p95=%s lat_max=%s reads=%d parked=%d read_age=%s held_dropped=%d snap_restores=%d",
 				g.Group, g.Epoch, node.MemberString(g.Members), g.InConfig,
@@ -61,6 +76,9 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 				g.CommitLatency.P95, g.CommitLatency.Max,
 				g.ReadsLocal, g.ReadsParked, g.ReadAge, g.HeldDropped,
 				g.SnapRestores)
+			if g.LinkGaps > 0 {
+				fmt.Fprintf(&b, " link_gaps=%d", g.LinkGaps)
+			}
 			fmt.Fprintf(&b, " slots=%d migrating_out=%d", g.Slots, g.MigratingOut)
 			if g.FsyncMode != "" {
 				fmt.Fprintf(&b, " fsync=%s appends=%d fsyncs=%d fsync_batch_max=%d",
@@ -104,7 +122,10 @@ func (s *server) admin(ctx context.Context, line string) (string, bool) {
 		fmt.Fprintf(&b, " migrating=%d", len(migs))
 		if len(migs) > 0 {
 			// Summarize migrations as from->to:gen:count, deterministic order.
-			type edge struct{ from, to types.GroupID; gen uint32 }
+			type edge struct {
+				from, to types.GroupID
+				gen      uint32
+			}
 			counts := make(map[edge]int)
 			for _, c := range migs {
 				counts[edge{c.Owner, c.To, c.Gen}]++

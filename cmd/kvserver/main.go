@@ -73,6 +73,8 @@ import (
 	"strings"
 	"time"
 
+	"clockrsm/internal/chaos"
+	"clockrsm/internal/clock"
 	"clockrsm/internal/core"
 	"clockrsm/internal/kvstore"
 	"clockrsm/internal/node"
@@ -116,6 +118,15 @@ type serverConfig struct {
 	// per-connection admission budgets (0 = the rpc package defaults).
 	rpcBudget     int
 	rpcConnBudget int
+	// chaosSeed, when non-zero, arms a deterministic fault-injection
+	// schedule (internal/chaos) drawn from the seed: clock anomalies on
+	// this replica's clock, drops/delays on its outgoing links, stalls on
+	// its log. chaosSchedule instead replays an encoded schedule file (the
+	// artifact format of chaos.EncodeSchedule) and takes precedence. Both
+	// are for test and burn-in deployments only; injected-fault counters
+	// appear under faults=(...) in STATUS.
+	chaosSeed     int64
+	chaosSchedule string
 }
 
 func main() {
@@ -134,6 +145,8 @@ func main() {
 	flag.StringVar(&cfg.rpcAddr, "rpc", "", "binary RPC listen address (empty disables the front door)")
 	flag.IntVar(&cfg.rpcBudget, "rpc-budget", 0, "front-door global in-flight admission budget (0 = default)")
 	flag.IntVar(&cfg.rpcConnBudget, "rpc-conn-budget", 0, "front-door per-connection in-flight admission budget (0 = default)")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "arm a deterministic random fault schedule from this seed (0 disables; test deployments only)")
+	flag.StringVar(&cfg.chaosSchedule, "chaos-schedule", "", "arm the encoded fault schedule in this file (chaos replay artifact; overrides -chaos-seed)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -169,6 +182,31 @@ func run(cfg serverConfig) error {
 	if err != nil {
 		return err
 	}
+	// The chaos engine, when armed, injects this replica's share of the
+	// fault schedule at three layers: the clock source, the outgoing
+	// links, and the stable log. Replay artifacts beat seeds so a failing
+	// seeded run's shipped schedule reproduces bit-for-bit.
+	var eng *chaos.Engine
+	switch {
+	case cfg.chaosSchedule != "":
+		b, err := os.ReadFile(cfg.chaosSchedule)
+		if err != nil {
+			return err
+		}
+		sched, err := chaos.DecodeSchedule(b)
+		if err != nil {
+			return fmt.Errorf("chaos schedule %s: %w", cfg.chaosSchedule, err)
+		}
+		eng = chaos.New(sched)
+	case cfg.chaosSeed != 0:
+		eng = chaos.New(chaos.Random(cfg.chaosSeed, chaos.Profile{
+			Replicas:    len(spec),
+			Span:        5 * time.Second,
+			ClockFaults: 2,
+			LinkFaults:  2,
+			DiskFaults:  1,
+		}))
+	}
 	switch cfg.rejoin {
 	case "auto", "always", "never":
 	default:
@@ -201,6 +239,9 @@ func run(cfg serverConfig) error {
 				return err
 			}
 			logs[g] = fl
+			if eng != nil {
+				logs[g] = eng.Log(types.ReplicaID(id), fl)
+			}
 			// A restart is any log with history: live entries, or a
 			// checkpoint that compacted them all (Len alone would mistake a
 			// fully-compacted log for a fresh boot and skip the rejoin).
@@ -209,13 +250,19 @@ func run(cfg serverConfig) error {
 		}
 	}
 
-	tr := transport.NewTCP(types.ReplicaID(id), addrs, transport.TCPOptions{Groups: groups})
-	host, err := node.NewHost(types.ReplicaID(id), spec, tr, node.HostOptions{
+	var tr transport.Transport = transport.NewTCP(types.ReplicaID(id), addrs, transport.TCPOptions{Groups: groups})
+	hostOpts := node.HostOptions{
 		Groups:     groups,
 		NewLog:     func(g types.GroupID) storage.Log { return logs[g] },
 		Table:      table,
 		RoutesPath: routesPath,
-	})
+	}
+	if eng != nil {
+		tr = eng.Transport(tr)
+		hostOpts.Clock = clock.NewMonotonic(eng.Clock(types.ReplicaID(id), clock.System{}))
+		hostOpts.FaultStats = func() map[string]uint64 { return eng.ReplicaCounts(types.ReplicaID(id)) }
+	}
+	host, err := node.NewHost(types.ReplicaID(id), spec, tr, hostOpts)
 	if err != nil {
 		return err
 	}
@@ -258,6 +305,13 @@ func run(cfg serverConfig) error {
 		}
 	}
 	log.Printf("replica r%d up; groups=%d peers=%v client=%s fsync=%s", id, groups, peerList, clientAddr, mode)
+	if eng != nil {
+		// Arm only once the replica is serving, so the schedule's t=0 is
+		// "cluster up", matching how the chaos matrix replays schedules.
+		eng.Arm()
+		log.Printf("replica r%d CHAOS ARMED (seed=%d schedule=%q) — fault injection active, test deployments only",
+			id, cfg.chaosSeed, cfg.chaosSchedule)
+	}
 
 	// Binary front door (internal/rpc): multiplexed, pipelined RPC with
 	// admission control, beside the legacy line protocol. The operator

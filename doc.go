@@ -27,6 +27,9 @@
 //   - internal/rpc, client: the production front door — a multiplexed
 //     binary RPC protocol served beside kvserver's line protocol, and
 //     the public client library that speaks it;
+//   - internal/chaos: the deterministic fault-injection layer — clock
+//     anomalies, asymmetric partitions and misbehaving disks driven by
+//     seeded, replayable schedules;
 //   - internal/runner: the experiment harness regenerating every table
 //     and figure of Section VI.
 //
@@ -214,6 +217,41 @@
 // reports conns/inflight/accepted/shed. runner.RunFrontDoor measures
 // both protocols against the same cluster (BenchmarkRPCPipeline,
 // BENCH_8.json).
+//
+// # Fault injection
+//
+// Clock-RSM's correctness never depends on clock synchrony — only its
+// latency does — and internal/chaos exists to prove that, not assume
+// it. The chaos engine wraps the three substrates the runtime already
+// abstracts behind interfaces, so faults inject at exactly the seams a
+// real deployment fails at, with zero changes to protocol code: raw
+// clock sources (per-replica jump/freeze/rollback/drift, applied
+// underneath the deployment's clock.Monotonic guard — where an NTP
+// step or a VM migration actually lands), transports (asymmetric
+// one-way drops, flapping links, per-link delay spikes with FIFO order
+// preserved), and stable logs (slow appends, fsync stalls, transient
+// write errors). Every fault comes from a Schedule — a declarative,
+// seeded, binary-codable fault-window list (chaos.Random,
+// EncodeSchedule/DecodeSchedule) — so a failing run replays
+// bit-for-bit. Injection counters flow from chaos.Engine through
+// node.HostStatus.Faults into kvserver's STATUS line, and
+// runner.RunChaosMatrix sweeps ten scenarios against a live
+// multi-group cluster under closed-loop load, asserting per-key
+// linearizability, zero lost acks, zero duplicate executions and
+// bounded post-fault recovery.
+//
+// Bringing the matrix up found two real protocol bugs. First, the
+// stability rule omitted the replica's own clock, so a clock rollback
+// at the origin could execute a later-timestamped entry before an
+// earlier one. Second, the transport is best-effort and PREPAREs are
+// never retransmitted, so a one-way drop window outliving a
+// reconfiguration install silently ate PREPAREs forever; the fix makes
+// every hot message carry a cumulative sent-counter, the receiver
+// proves gaps from it (GroupStatus.LinkGaps — non-zero under a healthy
+// network means the transport is silently dropping traffic), and a
+// proven gap forces a self-repair rejoin. The matrix fails without
+// either fix. kvserver can arm the engine in test deployments with
+// -chaos-seed / -chaos-schedule; see README.md "Chaos testing".
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results. The root-level

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"sync"
+
+	"clockrsm/internal/clock"
+	"clockrsm/internal/types"
+)
+
+// Clock wraps a raw clock source with this engine's clock-fault windows
+// for replica r. It injects at the raw layer — compose the deployment's
+// monotonicity guard on top, exactly as a production stack does:
+//
+//	clk := clock.NewMonotonic(eng.Clock(r, clock.System{}))
+//
+// so a rollback or a freeze reaches the protocol the way an NTP step
+// reaches a guarded process: as a clock that stops advancing (Monotonic
+// bumps one nanosecond per read) until real time catches back up.
+// Without the guard the faults surface raw, which is what targeted unit
+// tests want.
+func (e *Engine) Clock(r types.ReplicaID, src clock.Clock) clock.Clock {
+	var faults []ClockFault
+	for _, f := range e.sched.Clock {
+		if f.Replica == r {
+			faults = append(faults, f)
+		}
+	}
+	c := &chaosClock{eng: e, src: src, faults: faults}
+	c.fired = make([]bool, len(faults))
+	e.register(r, c.addCounts)
+	return c
+}
+
+// chaosClock applies the fault windows scheduled for one replica to a
+// raw clock source.
+type chaosClock struct {
+	eng *Engine
+	src clock.Clock
+
+	mu     sync.Mutex
+	faults []ClockFault
+	fired  []bool // activation counted once per fault window
+
+	// frozen pins the reading while a ClockFreeze window is active. The
+	// pinned value is the first reading computed inside the window (with
+	// jump/drift offsets applied), so thaw is a plain forward step.
+	frozen    bool
+	frozenVal int64
+
+	jumps, freezes, rollbacks, drifts uint64
+}
+
+// Now returns the faulted reading. Offsets from jump/rollback/drift
+// windows are recomputed from the schedule on every read — the clock
+// carries no hidden state beyond the freeze pin, so two reads at the
+// same elapsed time always see the same offset, independent of how
+// often the clock was consulted in between.
+func (c *chaosClock) Now() int64 {
+	raw := c.src.Now()
+	el, armed := c.eng.elapsed()
+	if !armed {
+		return raw
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var off int64
+	freezing := false
+	for i, f := range c.faults {
+		if el < f.At {
+			continue
+		}
+		active := f.Duration <= 0 || el < f.At+f.Duration
+		switch f.Kind {
+		case ClockJump:
+			if active {
+				off += int64(f.Magnitude)
+				c.fire(i, &c.jumps)
+			}
+		case ClockRollback:
+			if active {
+				off -= int64(f.Magnitude)
+				c.fire(i, &c.rollbacks)
+			}
+		case ClockFreeze:
+			if active {
+				freezing = true
+				c.fire(i, &c.freezes)
+			}
+		case ClockDrift:
+			// The drift offset accumulates over the active part of the
+			// window and persists afterwards at its final value.
+			span := el - f.At
+			if f.Duration > 0 && span > f.Duration {
+				span = f.Duration
+			}
+			off += int64(f.Drift * float64(span))
+			if active {
+				c.fire(i, &c.drifts)
+			}
+		}
+	}
+
+	val := raw + off
+	if freezing {
+		if !c.frozen {
+			c.frozen = true
+			c.frozenVal = val
+		}
+		return c.frozenVal
+	}
+	c.frozen = false
+	return val
+}
+
+// fire counts a window's activation exactly once.
+func (c *chaosClock) fire(i int, counter *uint64) {
+	if !c.fired[i] {
+		c.fired[i] = true
+		*counter++
+	}
+}
+
+func (c *chaosClock) addCounts(into map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	add(into, "clock.jump", c.jumps)
+	add(into, "clock.freeze", c.freezes)
+	add(into, "clock.rollback", c.rollbacks)
+	add(into, "clock.drift", c.drifts)
+}
+
+// add accumulates a counter, omitting zero-valued categories.
+func add(into map[string]uint64, k string, v uint64) {
+	if v > 0 {
+		into[k] += v
+	}
+}

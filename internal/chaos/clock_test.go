@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/clock"
+)
+
+func TestClockTransparentBeforeArm(t *testing.T) {
+	eng := New(Schedule{Clock: []ClockFault{
+		{Replica: 0, Kind: ClockJump, At: 0, Magnitude: 50 * time.Millisecond},
+	}})
+	src := clock.NewManual(1_000_000)
+	c := eng.Clock(0, src)
+	if got := c.Now(); got != 1_000_000 {
+		t.Fatalf("unarmed chaos clock read %d, want raw 1000000", got)
+	}
+	if n := len(eng.Counts()); n != 0 {
+		t.Fatalf("unarmed engine reported %d fault categories", n)
+	}
+}
+
+func TestClockJumpAndRollbackOffsets(t *testing.T) {
+	const raw = int64(1_000_000_000)
+	eng := New(Schedule{Clock: []ClockFault{
+		{Replica: 0, Kind: ClockJump, At: 0, Duration: time.Hour, Magnitude: 50 * time.Millisecond},
+		{Replica: 1, Kind: ClockRollback, At: 0, Duration: time.Hour, Magnitude: 40 * time.Millisecond},
+		{Replica: 2, Kind: ClockJump, At: time.Hour, Magnitude: time.Hour}, // never reached
+	}})
+	jumped := eng.Clock(0, clock.NewManual(raw))
+	rolled := eng.Clock(1, clock.NewManual(raw))
+	future := eng.Clock(2, clock.NewManual(raw))
+	eng.Arm()
+	if got, want := jumped.Now(), raw+int64(50*time.Millisecond); got != want {
+		t.Errorf("jumped clock read %d, want %d", got, want)
+	}
+	if got, want := rolled.Now(), raw-int64(40*time.Millisecond); got != want {
+		t.Errorf("rolled-back clock read %d, want %d", got, want)
+	}
+	if got := future.Now(); got != raw {
+		t.Errorf("clock with a not-yet-active window read %d, want raw %d", got, raw)
+	}
+	counts := eng.Counts()
+	if counts["clock.jump"] != 1 || counts["clock.rollback"] != 1 {
+		t.Errorf("counts = %v, want one jump and one rollback activation", counts)
+	}
+	// Re-reading does not re-count window activations.
+	jumped.Now()
+	jumped.Now()
+	if got := eng.Counts()["clock.jump"]; got != 1 {
+		t.Errorf("jump activations = %d after repeated reads, want 1", got)
+	}
+}
+
+func TestClockJumpWindowReverts(t *testing.T) {
+	const raw = int64(1_000_000_000)
+	eng := New(Schedule{Clock: []ClockFault{
+		{Replica: 0, Kind: ClockJump, At: 0, Duration: 20 * time.Millisecond, Magnitude: 50 * time.Millisecond},
+	}})
+	c := eng.Clock(0, clock.NewManual(raw))
+	eng.Arm()
+	if got, want := c.Now(), raw+int64(50*time.Millisecond); got != want {
+		t.Fatalf("in-window read %d, want %d", got, want)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if got := c.Now(); got != raw {
+		t.Fatalf("post-window read %d, want raw %d (jump must revert)", got, raw)
+	}
+}
+
+func TestClockFreezePinsAndThaws(t *testing.T) {
+	src := clock.NewManual(1_000_000)
+	eng := New(Schedule{Clock: []ClockFault{
+		{Replica: 0, Kind: ClockFreeze, At: 0, Duration: 30 * time.Millisecond},
+	}})
+	c := eng.Clock(0, src)
+	eng.Arm()
+	pinned := c.Now()
+	src.Advance(int64(time.Second))
+	if got := c.Now(); got != pinned {
+		t.Fatalf("frozen clock advanced from %d to %d", pinned, got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got, want := c.Now(), src.Now(); got != want {
+		t.Fatalf("thawed clock read %d, want raw %d", got, want)
+	}
+}
+
+func TestClockFreezeUnderMonotonic(t *testing.T) {
+	// The deployment composition: Monotonic over a frozen source must
+	// still be strictly increasing (one nanosecond per read).
+	src := clock.NewManual(1_000_000)
+	eng := New(Schedule{Clock: []ClockFault{
+		{Replica: 0, Kind: ClockFreeze, At: 0}, // forever
+	}})
+	mono := clock.NewMonotonic(eng.Clock(0, src))
+	eng.Arm()
+	prev := mono.Now()
+	for i := 0; i < 100; i++ {
+		cur := mono.Now()
+		if cur <= prev {
+			t.Fatalf("monotonic-over-frozen went %d -> %d at read %d", prev, cur, i)
+		}
+		prev = cur
+	}
+}
+
+func TestClockDriftAccumulatesAndPersists(t *testing.T) {
+	const raw = int64(1_000_000_000)
+	eng := New(Schedule{Clock: []ClockFault{
+		{Replica: 0, Kind: ClockDrift, At: 0, Duration: 10 * time.Millisecond, Drift: 0.5},
+	}})
+	c := eng.Clock(0, clock.NewManual(raw))
+	eng.Arm()
+	time.Sleep(30 * time.Millisecond) // window over; offset capped at 0.5 * 10ms
+	want := raw + int64(0.5*float64(10*time.Millisecond))
+	got1, got2 := c.Now(), c.Now()
+	if got1 != want || got2 != want {
+		t.Fatalf("post-window drift reads %d, %d; want stable %d", got1, got2, want)
+	}
+}

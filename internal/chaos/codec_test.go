@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleSchedule() Schedule {
+	return Schedule{
+		Seed: 42,
+		Clock: []ClockFault{
+			{Replica: 1, Kind: ClockJump, At: 100 * time.Millisecond, Duration: 200 * time.Millisecond, Magnitude: 50 * time.Millisecond},
+			{Replica: 2, Kind: ClockDrift, At: time.Second, Drift: -0.25},
+		},
+		Links: []LinkFault{
+			{From: 0, To: 2, Kind: LinkDrop, At: 10 * time.Millisecond, Duration: 800 * time.Millisecond},
+			{From: 2, To: 0, Kind: LinkDelay, At: 0, Duration: time.Second, Delay: 5 * time.Millisecond},
+		},
+		Disk: []DiskFault{
+			{Replica: 0, Kind: DiskFsyncStall, At: 50 * time.Millisecond, Duration: 400 * time.Millisecond, Stall: 2 * time.Millisecond},
+		},
+	}
+}
+
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	want := sampleSchedule()
+	got, err := DecodeSchedule(EncodeSchedule(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// Empty schedules round-trip too (nil slices become empty ones).
+	e, err := DecodeSchedule(EncodeSchedule(Schedule{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Clock)+len(e.Links)+len(e.Disk) != 0 {
+		t.Fatalf("empty schedule decoded as %+v", e)
+	}
+}
+
+func TestScheduleCodecRejectsCorruption(t *testing.T) {
+	good := EncodeSchedule(sampleSchedule())
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte(nil), good...), 0),
+	}
+	// A corrupt count larger than the input can hold must be rejected
+	// before allocation.
+	huge := append([]byte(nil), good[:12]...) // magic + seed
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff)
+	cases["huge count"] = huge
+	// An out-of-range fault kind.
+	badKind := append([]byte(nil), good...)
+	badKind[12+4+4] = 99 // first clock record's kind byte
+	cases["bad kind"] = badKind
+	for name, b := range cases {
+		if _, err := DecodeSchedule(b); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("%s: err = %v, want ErrBadSchedule", name, err)
+		}
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	p := Profile{Replicas: 3, ClockFaults: 3, LinkFaults: 3, DiskFaults: 2}
+	a, b := Random(7, p), Random(7, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if reflect.DeepEqual(a, Random(8, p)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Random schedules round-trip through the codec, so a failing seeded
+	// run can always ship its schedule as an artifact.
+	got, err := DecodeSchedule(EncodeSchedule(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatal("random schedule did not round-trip")
+	}
+}
+
+// FuzzScheduleCodec checks that DecodeSchedule is total — no panics, no
+// unbounded allocation — and that anything it accepts re-encodes to a
+// stable fixed point.
+func FuzzScheduleCodec(f *testing.F) {
+	f.Add(EncodeSchedule(sampleSchedule()))
+	f.Add(EncodeSchedule(Schedule{}))
+	f.Add(EncodeSchedule(Random(1, Profile{Replicas: 5, ClockFaults: 2, LinkFaults: 2, DiskFaults: 1})))
+	f.Add([]byte("CHS1"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSchedule(b)
+		if err != nil {
+			return
+		}
+		enc := EncodeSchedule(s)
+		s2, err := DecodeSchedule(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted schedule failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("codec not a fixed point:\n first %+v\nsecond %+v", s, s2)
+		}
+	})
+}

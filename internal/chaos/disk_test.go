@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"clockrsm/internal/storage"
+	"clockrsm/internal/types"
+)
+
+func entry(wall int64) storage.Entry {
+	return storage.Entry{
+		Kind: storage.KindPrepare,
+		TS:   types.Timestamp{Wall: wall, Node: 0},
+		Cmd:  types.Command{ID: types.CommandID{Origin: 0, Seq: uint64(wall)}},
+	}
+}
+
+func TestDiskTransparentBeforeArm(t *testing.T) {
+	eng := New(Schedule{Disk: []DiskFault{
+		{Replica: 0, Kind: DiskAppendError, At: 0, Duration: time.Hour},
+	}})
+	l := eng.Log(0, storage.NewMemLog())
+	if err := l.Append(entry(1)); err != nil {
+		t.Fatalf("unarmed chaos log failed append: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("append did not reach the wrapped log")
+	}
+}
+
+func TestDiskStallsCountAndPass(t *testing.T) {
+	eng := New(Schedule{Disk: []DiskFault{
+		{Replica: 0, Kind: DiskSlowAppend, At: 0, Duration: time.Hour, Stall: time.Millisecond},
+		{Replica: 0, Kind: DiskFsyncStall, At: 0, Duration: time.Hour, Stall: time.Millisecond},
+	}})
+	l := eng.Log(0, storage.NewMemLog())
+	eng.Arm()
+	start := time.Now()
+	if err := l.Append(entry(1)); err != nil {
+		t.Fatalf("stalled append failed: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("stalled sync failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("stalls did not bite: both ops in %v", elapsed)
+	}
+	counts := eng.Counts()
+	if counts["disk.slow_append"] != 1 || counts["disk.fsync_stall"] != 1 {
+		t.Fatalf("counts = %v, want one slow_append and one fsync_stall", counts)
+	}
+	if l.Len() != 1 {
+		t.Fatal("stalled append lost the entry")
+	}
+}
+
+func TestDiskInjectedErrors(t *testing.T) {
+	eng := New(Schedule{Disk: []DiskFault{
+		{Replica: 0, Kind: DiskAppendError, At: 0, Duration: time.Hour},
+		{Replica: 0, Kind: DiskSyncError, At: 0, Duration: time.Hour},
+		{Replica: 0, Kind: DiskCheckpointError, At: 0, Duration: time.Hour},
+	}})
+	l := eng.Log(0, storage.NewMemLog())
+	eng.Arm()
+	if err := l.Append(entry(1)); !errors.Is(err, ErrInjected) {
+		t.Errorf("Append error = %v, want ErrInjected", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Sync error = %v, want ErrInjected", err)
+	}
+	err := l.WriteCheckpoint(storage.Checkpoint{TS: types.Timestamp{Wall: 1}})
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("WriteCheckpoint error = %v, want ErrInjected", err)
+	}
+	counts := eng.Counts()
+	for _, k := range []string{"disk.append_error", "disk.sync_error", "disk.checkpoint_error"} {
+		if counts[k] != 1 {
+			t.Errorf("counts[%q] = %d, want 1 (all: %v)", k, counts[k], counts)
+		}
+	}
+	if l.Len() != 0 {
+		t.Error("failed append still reached the wrapped log")
+	}
+}
+
+func TestDiskFaultsScopedToReplica(t *testing.T) {
+	eng := New(Schedule{Disk: []DiskFault{
+		{Replica: 1, Kind: DiskAppendError, At: 0, Duration: time.Hour},
+	}})
+	l0 := eng.Log(0, storage.NewMemLog())
+	eng.Arm()
+	if err := l0.Append(entry(1)); err != nil {
+		t.Fatalf("replica 0's log caught replica 1's fault: %v", err)
+	}
+}

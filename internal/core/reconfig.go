@@ -501,6 +501,10 @@ func (r *Replica) finishApply(d *decision, transferred []msg.TimestampedCommand)
 		r.latestTV[k] = d.ts.Wall
 		r.lastHeard[k] = now
 	}
+	// The FIFO-integrity counters restart with the epoch: everything the
+	// old epoch's streams carried (or lost) is subsumed by this install.
+	r.prepSent = 0
+	clear(r.prepRecv)
 	r.rc = nil
 	r.st = nil
 	r.suspended = false

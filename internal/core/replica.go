@@ -55,6 +55,13 @@ type Options struct {
 	// state machine to implement rsm.Snapshotter and the log
 	// storage.Checkpointer; otherwise it is ignored.
 	CheckpointEvery int
+	// NoReadNudge disables the idle-read CLOCKTIME nudge: without it a
+	// linearizable read parked on an idle cluster (NudgeClock) asks the
+	// peers for their clocks immediately instead of waiting out the rest
+	// of the Δ interval, cutting the idle-read latency floor from
+	// Δ + one-way delay to one round trip (Section IV). Exists so the
+	// before/after cost of the nudge is measurable.
+	NoReadNudge bool
 }
 
 // Replica is one Clock-RSM replica. All methods must be invoked from the
@@ -101,10 +108,28 @@ type Replica struct {
 	// CLOCKTIME this replica broadcast; Algorithm 2 broadcasts CLOCKTIME
 	// once Clock ≥ lastSent + Δ.
 	lastSent int64
+	// lastProposed is the wall timestamp of this replica's newest own
+	// PREPARE. Submit keeps proposal walls strictly increasing even when
+	// they have to be bumped above the commit frontier (see Submit), so
+	// the stable-order reasoning — a replica never prepares below a wall
+	// it already announced — survives clocks that fall behind.
+	lastProposed int64
 	// lastHeard[k] is the local clock when a message from k last
 	// arrived; the failure detector compares it against SuspectTimeout.
 	// Only maintained when the detector is enabled.
 	lastHeard []int64
+	// prepSent counts the PREPAREs this replica has broadcast in the
+	// current epoch; it rides on every outgoing PREPARE / PREPAREOK /
+	// CLOCKTIME (the Sent field) so receivers can prove the FIFO
+	// loss-free channel assumption still holds. prepRecv[k] is the
+	// receive-side mirror: how many of k's PREPAREs arrived this epoch.
+	// Both reset on every epoch install. See fifoCheck.
+	prepSent uint64
+	prepRecv []uint64
+	// linkGaps counts proven channel breaks (a message arrived whose
+	// Sent counter is ahead of prepRecv); each one triggered a Rejoin.
+	// Atomic so status and tests can read it cross-goroutine.
+	linkGaps atomic.Uint64
 
 	// Reconfiguration state (Algorithm 3).
 	suspended bool
@@ -163,11 +188,18 @@ type Replica struct {
 	// checkpoint.
 	sinceCheckpoint int
 
+	// lastNudge is the local clock reading when this replica last
+	// broadcast a CLOCKREQ; NudgeClock suppresses re-requests inside a
+	// quarter of Δ so a burst of parked reads costs one broadcast.
+	lastNudge int64
+
 	// Counters exposed for tests and measurements.
-	committed   uint64
-	waits       uint64 // times the line-8 wait actually blocked
-	checkpoints uint64
-	sweptAcks   uint64 // earlyAcks entries reclaimed by the periodic sweep
+	committed    uint64
+	waits        uint64 // times the line-8 wait actually blocked
+	checkpoints  uint64
+	sweptAcks    uint64 // earlyAcks entries reclaimed by the periodic sweep
+	nudges       uint64 // CLOCKREQ broadcasts sent for parked reads
+	nudgeReplies uint64 // CLOCKREQs answered with an immediate CLOCKTIME
 }
 
 var (
@@ -194,6 +226,7 @@ func New(env rsm.Env, app *rsm.App, opts Options) *Replica {
 		earlyAcks: make(map[types.Timestamp]uint64),
 		latestTV:  make([]int64, len(spec)),
 		lastHeard: make([]int64, len(spec)),
+		prepRecv:  make([]uint64, len(spec)),
 		stashed:   make(map[types.Epoch]*decision),
 	}
 	for _, id := range spec {
@@ -362,12 +395,29 @@ func (r *Replica) Submit(cmd types.Command) {
 		r.notifyConfig([]types.CommandID{cmd.ID})
 		return
 	}
-	ts := types.Timestamp{Wall: r.env.Clock(), Node: r.env.ID()}
+	wall := r.env.Clock()
+	// Never propose at or below the commit frontier or a wall already
+	// proposed. Commits wait for the local clock (see stable), so the
+	// frontier normally trails it — but a state transfer can install a
+	// frontier ahead of a lagging clock, and a proposal timestamped
+	// below it would be stale-dropped here while replicas whose
+	// frontiers still trail it accept and commit it: divergence. The
+	// bump keeps proposal walls above everything this replica has
+	// announced, which is what the stable-order rule relies on.
+	if wall <= r.lastCommitted.Wall {
+		wall = r.lastCommitted.Wall + 1
+	}
+	if wall <= r.lastProposed {
+		wall = r.lastProposed + 1
+	}
+	r.lastProposed = wall
+	ts := types.Timestamp{Wall: wall, Node: r.env.ID()}
 	r.env.Log().Append(storage.Entry{Kind: storage.KindPrepare, TS: ts, Cmd: cmd})
 	r.pending.Add(ts, cmd, 1<<uint(r.env.ID()))
 	r.observe(r.env.ID(), ts.Wall)
 	r.lastSent = ts.Wall
-	r.broadcast(&msg.Prepare{Epoch: r.epoch, TS: ts, Cmd: cmd})
+	r.prepSent++
+	r.broadcast(&msg.Prepare{Epoch: r.epoch, TS: ts, Cmd: cmd, Sent: r.prepSent})
 	r.tryCommit()
 }
 
@@ -544,6 +594,8 @@ func (r *Replica) deliverOne(from types.ReplicaID, m msg.Message) {
 			return
 		}
 		r.onClockTime(from, mm)
+	case *msg.ClockReq:
+		r.onClockReq(from, mm)
 	case *msg.Suspend:
 		r.onSuspend(from, mm)
 	case *msg.SuspendOK:
@@ -561,6 +613,9 @@ func (r *Replica) deliverOne(from types.ReplicaID, m msg.Message) {
 // replication without waiting for rk's PREPAREOK.
 func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
 	if m.Epoch != r.epoch || r.suspended {
+		return
+	}
+	if !r.fifoCheck(from, m.Sent, true) {
 		return
 	}
 	if m.TS.LessEq(r.lastCommitted) {
@@ -625,7 +680,7 @@ func (r *Replica) onPrepare(from types.ReplicaID, m *msg.Prepare) {
 func (r *Replica) ackPrepare(ts types.Timestamp) {
 	clockTS := r.env.Clock()
 	r.lastSent = clockTS
-	r.broadcast(&msg.PrepareOK{Epoch: r.epoch, TS: ts, ClockTS: clockTS})
+	r.broadcast(&msg.PrepareOK{Epoch: r.epoch, TS: ts, ClockTS: clockTS, Sent: r.prepSent})
 	r.ack(ts, r.env.ID())
 	r.tryCommit()
 }
@@ -634,6 +689,9 @@ func (r *Replica) ackPrepare(ts types.Timestamp) {
 // 11-13).
 func (r *Replica) onPrepareOK(from types.ReplicaID, m *msg.PrepareOK) {
 	if m.Epoch != r.epoch || r.suspended {
+		return
+	}
+	if !r.fifoCheck(from, m.Sent, false) {
 		return
 	}
 	r.observe(from, m.ClockTS)
@@ -646,9 +704,59 @@ func (r *Replica) onClockTime(from types.ReplicaID, m *msg.ClockTime) {
 	if m.Epoch != r.epoch || r.suspended {
 		return
 	}
+	if !r.fifoCheck(from, m.Sent, false) {
+		return
+	}
 	r.observe(from, m.TS)
 	r.tryCommit()
 }
+
+// onClockReq answers a peer's idle-read nudge with an immediate unicast
+// 〈CLOCKTIME clock〉. The reply deliberately does not update lastSent:
+// it is an extra clock sample for one impatient reader, not a
+// substitute for the periodic broadcast every other replica still needs
+// within Δ. A CLOCKTIME carries no log assertions, so no durability
+// barrier precedes it. Stale-epoch requests are dropped — the nudge is
+// an optimization, never a correctness dependency.
+func (r *Replica) onClockReq(from types.ReplicaID, m *msg.ClockReq) {
+	if m.Epoch != r.epoch || r.suspended || !r.inConfig[r.env.ID()] {
+		return
+	}
+	r.nudgeReplies++
+	r.env.Send(from, &msg.ClockTime{Epoch: r.epoch, TS: r.env.Clock(), Sent: r.prepSent})
+}
+
+// NudgeClock broadcasts 〈CLOCKREQ〉 asking every peer for an immediate
+// CLOCKTIME. The node layer calls it when a linearizable read parks
+// waiting for the stable frontier on an otherwise idle cluster: instead
+// of paying the remainder of the Δ interval plus a one-way delay, the
+// read completes after one round trip (Section IV's idle latency
+// floor). Re-requests within Δ/4 coalesce into the outstanding one.
+// The nudge is part of the CLOCKTIME extension: Δ = 0 means the
+// extension is disabled and the protocol stays quiescent, so no
+// CLOCKREQ goes out either. Must be invoked from the replica's event
+// loop, like Submit.
+func (r *Replica) NudgeClock() {
+	if r.opts.NoReadNudge || r.opts.ClockTimeInterval == 0 || r.suspended || !r.inConfig[r.env.ID()] {
+		return
+	}
+	now := r.env.Clock()
+	quiet := int64(r.opts.ClockTimeInterval) / 4
+	if r.lastNudge != 0 && now < r.lastNudge+quiet {
+		return
+	}
+	r.lastNudge = now
+	r.nudges++
+	r.broadcast(&msg.ClockReq{Epoch: r.epoch})
+}
+
+// Nudges returns how many CLOCKREQ broadcasts this replica sent for
+// parked linearizable reads.
+func (r *Replica) Nudges() uint64 { return r.nudges }
+
+// NudgeReplies returns how many peers' CLOCKREQs this replica answered
+// with an immediate CLOCKTIME.
+func (r *Replica) NudgeReplies() uint64 { return r.nudgeReplies }
 
 // clockTimeTick implements Algorithm 2 line 1: broadcast the clock if
 // nothing carrying a newer timestamp was sent in the last Δ. The tick
@@ -660,9 +768,13 @@ func (r *Replica) clockTimeTick() {
 	now := r.env.Clock()
 	if !r.suspended && r.inConfig[r.env.ID()] && now >= r.lastSent+int64(d) {
 		r.lastSent = now
-		r.broadcast(&msg.ClockTime{Epoch: r.epoch, TS: now})
+		r.broadcast(&msg.ClockTime{Epoch: r.epoch, TS: now, Sent: r.prepSent})
 	}
 	r.sweepEarlyAcks()
+	// Retry the commit scan: when the head waits only on the local
+	// clock (stable's own-clock term) no peer message is guaranteed to
+	// arrive and re-trigger it, so the tick is the wakeup.
+	r.tryCommit()
 	r.env.After(d, r.clockTimeTick)
 }
 
@@ -687,6 +799,47 @@ func (r *Replica) sweepEarlyAcks() {
 		}
 	}
 }
+
+// fifoCheck enforces the loss-free FIFO channel assumption the
+// stable-order rule rests on, using the cumulative per-epoch PREPARE
+// counter every data message carries (see msg.Prepare.Sent). A counter
+// ahead of this replica's receive count proves a PREPARE from that
+// sender was lost in transit — the transports are best-effort, and
+// injected faults or overload can drop frames. Processing the message
+// anyway would advance the sender's latest-time entry over the hole,
+// letting the commit scan run past commands this replica never saw:
+// silent divergence, and stale linearizable reads once the watermark
+// thaws. Instead the replica suspends itself into a Rejoin, whose
+// command collection and state transfer recover everything a majority
+// logged; the epoch install then resets the counters on both sides.
+// Returns false when the message must not be processed. A zero counter
+// (hand-built messages in unit tests) is exempt and never signals a
+// gap. prepare distinguishes the PREPARE itself, which advances the
+// receive count, from the messages that merely assert it.
+func (r *Replica) fifoCheck(from types.ReplicaID, sent uint64, prepare bool) bool {
+	if sent == 0 {
+		return true
+	}
+	recv := r.prepRecv[from]
+	if prepare {
+		if sent <= recv+1 {
+			if sent == recv+1 {
+				r.prepRecv[from] = sent
+			}
+			return true
+		}
+	} else if sent <= recv {
+		return true
+	}
+	r.linkGaps.Add(1)
+	r.Rejoin()
+	return false
+}
+
+// LinkGaps returns how many proven channel breaks (lost PREPAREs
+// detected by the Sent counters) this replica repaired via Rejoin. Safe
+// to call from any goroutine.
+func (r *Replica) LinkGaps() uint64 { return r.linkGaps.Load() }
 
 // observe folds a timestamp from replica k into LatestTV. Senders emit
 // monotonically increasing timestamps over FIFO links, so max() only
@@ -714,8 +867,19 @@ func (r *Replica) ack(ts types.Timestamp, k types.ReplicaID) {
 
 // stable reports the stable-order condition (Alg. 1 line 22): no replica
 // in the configuration can still send a message with a timestamp smaller
-// than ts. Our own clock is strictly increasing past ts by construction.
+// than ts. The timestamp vector includes our own entry — the local
+// clock. It is not redundant: a replica whose clock has fallen behind
+// (paused, rolled back and pinned by the monotonic wrapper) could
+// otherwise commit peers' commands past its own clock on the strength
+// of their TV entries alone, and its next Submit would then timestamp a
+// command below its own commit frontier — a command the local scan
+// drops as a stale duplicate while the peers, whose frontiers still
+// trail it, accept and commit it. Waiting for the local clock keeps the
+// frontier behind anything this replica might yet propose.
 func (r *Replica) stable(ts types.Timestamp) bool {
+	if r.env.Clock() <= ts.Wall {
+		return false
+	}
 	for _, k := range r.config {
 		if k == r.env.ID() {
 			continue

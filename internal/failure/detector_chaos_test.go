@@ -1,0 +1,122 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"clockrsm/internal/chaos"
+	"clockrsm/internal/clock"
+)
+
+// These tests run the detector against chaos-injected clock faults on
+// its OWN time source. The detector's contract (Section II-A) is
+// eventual completeness and accuracy, not instant correctness, so the
+// interesting questions are which property each fault erodes and
+// whether the detector recovers once the fault clears.
+
+// tick bridges a nanosecond clock.Clock into the time.Time source the
+// detector consumes.
+func tick(c clock.Clock) func() time.Time {
+	return func() time.Time { return time.Unix(0, c.Now()) }
+}
+
+// A frozen local clock makes silence invisible: elapsed time never
+// grows, so a dead replica is never suspected. This is a liveness loss,
+// not a safety one — the detector stays accurate, just incomplete —
+// and is exactly why drop windows in chaos schedules must outlive the
+// detector's sampling period measured in *victim* clock time.
+func TestDetectorClockFreezeMasksSilence(t *testing.T) {
+	src := clock.NewManual(0)
+	eng := chaos.New(chaos.Schedule{Clock: []chaos.ClockFault{
+		{Replica: 0, Kind: chaos.ClockFreeze, At: 0}, // forever
+	}})
+	d := New(100*time.Millisecond, tick(eng.Clock(0, src)))
+	eng.Arm()
+	d.Heartbeat(1)
+	src.Advance(int64(time.Second)) // r1 silent for 10x the timeout
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("frozen-clock detector suspected %v; silence should be invisible", s)
+	}
+	if got := eng.Counts()["clock.freeze"]; got != 1 {
+		t.Fatalf("clock.freeze activations = %d, want 1", got)
+	}
+}
+
+// When the freeze thaws, the backlog of silence becomes visible at once
+// and suspicion fires; a heartbeat then rehabilitates, and renewed
+// silence re-suspects — the full down-up-down cycle.
+func TestDetectorClockFreezeThawCycle(t *testing.T) {
+	src := clock.NewManual(0)
+	eng := chaos.New(chaos.Schedule{Clock: []chaos.ClockFault{
+		{Replica: 0, Kind: chaos.ClockFreeze, At: 0, Duration: 30 * time.Millisecond},
+	}})
+	d := New(100*time.Millisecond, tick(eng.Clock(0, src)))
+	eng.Arm()
+	d.Heartbeat(1)
+	src.Advance(int64(500 * time.Millisecond))
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspected %v while frozen", s)
+	}
+	time.Sleep(50 * time.Millisecond) // freeze window expires in real time
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("post-thaw suspects = %v, want [r1]", s)
+	}
+	d.Heartbeat(1) // r1 comes back up
+	if d.IsSuspected(1) {
+		t.Fatal("heartbeat did not rehabilitate after thaw")
+	}
+	src.Advance(int64(200 * time.Millisecond)) // goes silent again
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("re-suspect after down-up cycle failed: %v", s)
+	}
+}
+
+// A rollback on the detector's clock shifts every reading back by the
+// same amount, so heartbeats recorded before the fault look fresher
+// than they are: detection of real silence is delayed by exactly the
+// rollback magnitude, then proceeds normally.
+func TestDetectorClockRollbackDelaysSuspicion(t *testing.T) {
+	src := clock.NewManual(int64(time.Hour))
+	eng := chaos.New(chaos.Schedule{Clock: []chaos.ClockFault{
+		{Replica: 0, Kind: chaos.ClockRollback, At: 0, Magnitude: 40 * time.Millisecond},
+	}})
+	d := New(100*time.Millisecond, tick(eng.Clock(0, src)))
+	d.Heartbeat(1) // recorded at the raw, pre-fault reading
+	eng.Arm()
+	src.Advance(int64(120 * time.Millisecond)) // past the timeout in raw time
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspected %v only 80ms of rolled-back silence in", s)
+	}
+	src.Advance(int64(30 * time.Millisecond)) // 150ms raw - 40ms rollback > 100ms
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("suspects = %v, want [r1] once rollback is outrun", s)
+	}
+}
+
+// A forward jump larger than the timeout makes every known replica look
+// ancient instantly: a live, recently-heard replica is falsely
+// suspected. The system model permits this (the detector "may be
+// wrong"); what must hold is that the next heartbeat rehabilitates and
+// detection of genuine silence still works afterwards.
+func TestDetectorClockJumpFalseSuspicionAndRecovery(t *testing.T) {
+	src := clock.NewManual(int64(time.Hour))
+	eng := chaos.New(chaos.Schedule{Clock: []chaos.ClockFault{
+		{Replica: 0, Kind: chaos.ClockJump, At: 0, Magnitude: 150 * time.Millisecond},
+	}})
+	d := New(100*time.Millisecond, tick(eng.Clock(0, src)))
+	d.Heartbeat(1)
+	eng.Arm() // +150ms jump: r1's heartbeat is suddenly "too old"
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("suspects = %v, want the false positive [r1]", s)
+	}
+	d.Heartbeat(1) // r1 was alive all along
+	if d.IsSuspected(1) {
+		t.Fatal("live replica stayed suspected after heartbeat")
+	}
+	// With the jump offset now constant on both sides, real silence is
+	// detected on the normal schedule.
+	src.Advance(int64(120 * time.Millisecond))
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("post-jump detection of real silence failed: %v", s)
+	}
+}

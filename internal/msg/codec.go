@@ -52,6 +52,11 @@ const (
 	TLearn
 	// Container frame packing several messages from one sender.
 	TBatch
+	// Clock-RSM idle-read nudge (Section IV latency floor): a replica
+	// with a parked linearizable read asks its peers for an immediate
+	// CLOCKTIME instead of waiting out the rest of Δ. Appended after
+	// TBatch so every pre-existing wire value is unchanged.
+	TClockReq
 	maxType
 )
 
@@ -62,7 +67,7 @@ var typeNames = map[Type]string{
 	TSuspend: "SUSPEND", TSuspendOK: "SUSPENDOK",
 	TRetrieveCmds: "RETRIEVECMDS", TRetrieveReply: "RETRIEVEREPLY",
 	TP1a: "P1A", TP1b: "P1B", TP2a: "P2A", TP2b: "P2B", TLearn: "LEARN",
-	TBatch: "BATCH",
+	TBatch: "BATCH", TClockReq: "CLOCKREQ",
 }
 
 // String returns the paper's message name.
@@ -215,6 +220,8 @@ func newMessage(t Type, rec *Record) (Message, error) {
 		return &P2b{}, nil
 	case TLearn:
 		return &Learn{}, nil
+	case TClockReq:
+		return &ClockReq{}, nil
 	case TBatch:
 		if rec != nil {
 			// Batches cannot nest, so the record's single embedded Batch

@@ -56,6 +56,16 @@ type Prepare struct {
 	Epoch types.Epoch
 	TS    types.Timestamp
 	Cmd   types.Command
+	// Sent is the cumulative count of PREPAREs the sender has broadcast
+	// in this epoch, this one included. The stable-order rule assumes
+	// FIFO loss-free channels: a receiver may advance a sender's
+	// latest-time entry only if it has seen every earlier PREPARE from
+	// that sender. The counter lets a receiver prove a violation — a
+	// message arriving with Sent ahead of its own receive count means a
+	// PREPARE was lost in transit — and trigger state-transfer repair
+	// instead of silently committing past the hole. Zero means
+	// unsequenced (hand-built messages in tests) and never signals a gap.
+	Sent uint64
 
 	// rec backs this message when it came from DecodeRecycled; see Recycle.
 	rec *Record
@@ -69,6 +79,7 @@ func (*Prepare) Type() Type { return TPrepare }
 func (m *Prepare) appendTo(b []byte) []byte {
 	b = putU64(b, uint64(m.Epoch))
 	b = putTS(b, m.TS)
+	b = putU64(b, m.Sent)
 	return putCmd(b, m.Cmd)
 }
 
@@ -79,6 +90,10 @@ func (m *Prepare) decode(b []byte, rec *Record) ([]byte, error) {
 	}
 	m.Epoch = types.Epoch(e)
 	m.TS, b, err = getTS(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Sent, b, err = getU64(b)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +109,11 @@ type PrepareOK struct {
 	Epoch   types.Epoch
 	TS      types.Timestamp
 	ClockTS int64
+	// Sent carries the sender's cumulative PREPARE broadcast count for
+	// this epoch; see Prepare.Sent. ClockTS advances the sender's
+	// latest-time entry at the receiver, so the acknowledgement must
+	// prove the PREPARE stream it rides behind is intact.
+	Sent uint64
 
 	// rec backs this message when it came from DecodeRecycled; see Recycle.
 	rec *Record
@@ -107,7 +127,8 @@ func (*PrepareOK) Type() Type { return TPrepareOK }
 func (m *PrepareOK) appendTo(b []byte) []byte {
 	b = putU64(b, uint64(m.Epoch))
 	b = putTS(b, m.TS)
-	return putI64(b, m.ClockTS)
+	b = putI64(b, m.ClockTS)
+	return putU64(b, m.Sent)
 }
 
 func (m *PrepareOK) decode(b []byte, rec *Record) ([]byte, error) {
@@ -121,6 +142,10 @@ func (m *PrepareOK) decode(b []byte, rec *Record) ([]byte, error) {
 		return nil, err
 	}
 	m.ClockTS, b, err = getI64(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Sent, b, err = getU64(b)
 	return b, err
 }
 
@@ -129,6 +154,11 @@ func (m *PrepareOK) decode(b []byte, rec *Record) ([]byte, error) {
 type ClockTime struct {
 	Epoch types.Epoch
 	TS    int64
+	// Sent carries the sender's cumulative PREPARE broadcast count for
+	// this epoch; see Prepare.Sent. CLOCKTIME is the message most likely
+	// to thaw a frozen latest-time entry after a loss window, so it must
+	// prove no PREPARE from its sender is still missing.
+	Sent uint64
 
 	// rec backs this message when it came from DecodeRecycled; see Recycle.
 	rec *Record
@@ -141,7 +171,8 @@ func (*ClockTime) Type() Type { return TClockTime }
 
 func (m *ClockTime) appendTo(b []byte) []byte {
 	b = putU64(b, uint64(m.Epoch))
-	return putI64(b, m.TS)
+	b = putI64(b, m.TS)
+	return putU64(b, m.Sent)
 }
 
 func (m *ClockTime) decode(b []byte, rec *Record) ([]byte, error) {
@@ -151,7 +182,40 @@ func (m *ClockTime) decode(b []byte, rec *Record) ([]byte, error) {
 	}
 	m.Epoch = types.Epoch(e)
 	m.TS, b, err = getI64(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Sent, b, err = getU64(b)
 	return b, err
+}
+
+// ClockReq asks a peer for an immediate 〈CLOCKTIME〉 reply. A replica
+// holding a parked linearizable read broadcasts it so an otherwise idle
+// configuration answers with fresh clock readings right away, instead of
+// the read waiting out the remainder of the Δ broadcast period plus a
+// one-way delay (the idle-read latency floor of Section IV). It is rare
+// (rate-limited at the sender, absent under write traffic), so it is
+// heap-owned — no pooled-record slab.
+type ClockReq struct {
+	Epoch types.Epoch
+}
+
+var _ Message = (*ClockReq)(nil)
+
+// Type implements Message.
+func (*ClockReq) Type() Type { return TClockReq }
+
+func (m *ClockReq) appendTo(b []byte) []byte {
+	return putU64(b, uint64(m.Epoch))
+}
+
+func (m *ClockReq) decode(b []byte, rec *Record) ([]byte, error) {
+	e, b, err := getU64(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Epoch = types.Epoch(e)
+	return b, nil
 }
 
 // --- Multi-Paxos / Paxos-bcast ---

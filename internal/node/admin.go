@@ -91,6 +91,15 @@ type snapReporter interface {
 	SnapRestores() uint64
 }
 
+// gapReporter is implemented by protocols that prove channel integrity
+// from cumulative send counters (core.Replica.LinkGaps): a non-zero
+// count means a peer's PREPARE stream lost a message in flight and the
+// replica forced itself through a reconfiguration to repair the hole.
+// Safe from any goroutine.
+type gapReporter interface {
+	LinkGaps() uint64
+}
+
 // confWaiter is one pending Reconfigure: its future resolves when the
 // decision for the targeted epoch is installed — with success if the
 // installed member set matches the target, ErrConfigConflict otherwise.
@@ -142,6 +151,11 @@ type GroupStatus struct {
 	// hold-buffer overflow. Non-zero means this replica may have a
 	// history gap only a state transfer can close (see core.Replica).
 	HeldDropped uint64
+	// LinkGaps counts proven message losses on incoming PREPARE streams
+	// (detected from the cumulative send counters every hot message
+	// carries), each of which forced a self-repair rejoin. Non-zero under
+	// a healthy network means the transport is silently dropping traffic.
+	LinkGaps uint64
 	// SnapRestores counts state-machine restores from a peer's shipped
 	// snapshot: catch-ups that went through checkpoint + tail transfer
 	// instead of full-log replay.
@@ -211,6 +225,9 @@ func (n *Node) Status() GroupStatus {
 	}
 	if n.snapRep != nil {
 		st.SnapRestores = n.snapRep.SnapRestores()
+	}
+	if n.gapRep != nil {
+		st.LinkGaps = n.gapRep.LinkGaps()
 	}
 	if sr, ok := n.log.(storage.StatsReporter); ok {
 		st.FsyncMode = sr.Mode().String()

@@ -58,6 +58,12 @@ type HostOptions struct {
 	// every change, and is where a restarted host resumes routing from
 	// (see reshard.Load).
 	RoutesPath string
+	// FaultStats, when set, reports this replica's injected-fault
+	// counters (chaos.Engine.ReplicaCounts) and is surfaced verbatim in
+	// HostStatus.Faults and the kvserver STATUS output, so an operator
+	// can see which scheduled faults actually fired. Must be safe from
+	// any goroutine. Nil outside fault-injection runs.
+	FaultStats func() map[string]uint64
 }
 
 // Host runs G independent replication groups on one node. Each group
@@ -75,6 +81,9 @@ type Host struct {
 	tr     transport.Transport
 	nodes  []*Node
 	router *shard.Router
+	// faultStats reports injected-fault counters for Status; nil
+	// outside chaos runs (see HostOptions.FaultStats).
+	faultStats func() map[string]uint64
 	// holder owns the live routing table (the source of truth for
 	// key→group dispatch); shardSMs are the per-group resharding
 	// wrappers Bind installs around the application state machines.
@@ -111,11 +120,12 @@ func NewHost(id types.ReplicaID, spec []types.ReplicaID, tr transport.Transport,
 		return nil, fmt.Errorf("host %v: routing table uses %d groups, host only hosts %d", id, tg, g)
 	}
 	h := &Host{
-		id:       id,
-		tr:       tr,
-		router:   shard.NewRouter(g),
-		holder:   reshard.NewHolder(tbl, opts.RoutesPath),
-		shardSMs: make([]*reshard.SM, g),
+		id:         id,
+		tr:         tr,
+		router:     shard.NewRouter(g),
+		holder:     reshard.NewHolder(tbl, opts.RoutesPath),
+		shardSMs:   make([]*reshard.SM, g),
+		faultStats: opts.FaultStats,
 	}
 	for i := 0; i < g; i++ {
 		gid := types.GroupID(i)

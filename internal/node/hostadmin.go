@@ -23,6 +23,10 @@ type HostStatus struct {
 	RouteVersion   uint64
 	RouteGroups    int
 	RouteMigrating int
+	// Faults holds this replica's injected-fault counters, keyed
+	// "layer.kind" (e.g. "clock.freeze", "link.drop"), when the host was
+	// wired with HostOptions.FaultStats; nil otherwise.
+	Faults map[string]uint64
 }
 
 // Status snapshots every group's control-plane state plus the routing
@@ -50,6 +54,9 @@ func (h *Host) Status() HostStatus {
 		gs.Slots = owned[i]
 		gs.MigratingOut = fencing[i]
 		st.Groups = append(st.Groups, gs)
+	}
+	if h.faultStats != nil {
+		st.Faults = h.faultStats()
 	}
 	return st
 }

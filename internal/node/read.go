@@ -131,6 +131,14 @@ type ReadResult struct {
 	Replicated bool
 }
 
+// clockNudger is implemented by protocols that can solicit an immediate
+// clock broadcast from their peers (core.Replica.NudgeClock): a parked
+// linearizable read on an idle cluster then waits one round trip
+// instead of the rest of the Δ interval. Loop-only, like Submit.
+type clockNudger interface {
+	NudgeClock()
+}
+
 // readOp is one read parked in (or bound for) the node's waiter queue.
 // It resolves exactly once; abandoning callers (context expiry) resolve
 // it themselves and the loop's later serve becomes a no-op.
@@ -141,6 +149,10 @@ type readOp struct {
 	ts    int64
 	query []byte
 	sess  *Session
+	// lin marks a Linearizable read: the only tier whose parking is
+	// bounded by the clock rather than by this replica's catch-up, and
+	// therefore the only one worth a nudge.
+	lin bool
 	// gate, when set, re-validates the read at serve time (after the
 	// watermark wait, before the query). The routing layer uses it to
 	// refuse reads whose key's slot migrated away — or is mid-migration
@@ -236,6 +248,7 @@ func (n *Node) readGated(ctx context.Context, query []byte, lvl Level, gate func
 		// this call has a timestamp the local clock already passed (see
 		// Linearizable), and a later capture only waits longer.
 		op.ts = n.clk.Now()
+		op.lin = true
 	case TierSequential:
 		if lvl.sess != nil {
 			op.ts = lvl.sess.Watermark()
@@ -344,6 +357,14 @@ func (n *Node) execRead(op *readOp) {
 	}
 	heap.Push(&n.readQ, op)
 	n.readsParked.Add(1)
+	if op.lin && n.nudger != nil {
+		// Idle-read nudge (paper §IV): the watermark is behind this
+		// read's clock capture, which on an idle cluster only resolves
+		// with the next CLOCKTIME broadcast. Ask the peers for their
+		// clocks now; the protocol coalesces bursts of parked reads into
+		// one CLOCKREQ.
+		n.nudger.NudgeClock()
+	}
 }
 
 // serveRead answers one read from local state at watermark w. Runs on

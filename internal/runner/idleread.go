@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"clockrsm/internal/core"
+	"clockrsm/internal/kvstore"
+	"clockrsm/internal/node"
+	"clockrsm/internal/rsm"
+	"clockrsm/internal/stats"
+	"clockrsm/internal/storage"
+	"clockrsm/internal/transport"
+	"clockrsm/internal/types"
+)
+
+// IdleReadConfig describes an idle-cluster linearizable-read latency
+// experiment (paper Section IV: the latency floor of a read when no
+// write traffic keeps the stable frontier moving). One priming write
+// establishes state, the cluster goes quiet, and then single
+// linearizable reads are issued far enough apart that each one finds
+// the frontier behind its capture time and has to wait for fresh
+// CLOCKTIMEs. Without the CLOCKREQ nudge each read pays the remainder
+// of the Δ broadcast interval (Δ/2 on average, Δ worst case); with it,
+// one round trip to the slowest majority peer.
+type IdleReadConfig struct {
+	Replicas int
+	// Delta is the CLOCKTIME broadcast interval Δ. Deliberately long by
+	// default (50ms) so the interval cost is unmistakable against
+	// scheduling noise.
+	Delta time.Duration
+	// Reads is the number of idle reads measured (default 40).
+	Reads int
+	// Spacing separates consecutive reads so every read observes an
+	// idle cluster rather than drafting on its predecessor's nudge
+	// (default Δ/2).
+	Spacing time.Duration
+	// NoNudge disables the idle-read CLOCKREQ nudge — the "before"
+	// variant of the A/B.
+	NoNudge bool
+}
+
+func (c IdleReadConfig) withDefaults() IdleReadConfig {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Delta == 0 {
+		c.Delta = 50 * time.Millisecond
+	}
+	if c.Reads == 0 {
+		c.Reads = 40
+	}
+	if c.Spacing == 0 {
+		c.Spacing = c.Delta / 2
+	}
+	return c
+}
+
+// IdleReadResult reports one idle-read latency measurement.
+type IdleReadResult struct {
+	Nudge          bool
+	Delta          time.Duration
+	Reads          int
+	Mean, P50, P95 time.Duration
+	Min, Max       time.Duration
+	// Nudges and NudgeReplies count CLOCKREQ broadcasts sent by the
+	// reading replica and answers served by its peers: nonzero exactly
+	// when the nudge is enabled and actually carried the reads.
+	Nudges, NudgeReplies uint64
+}
+
+// RunIdleRead measures single linearizable-read latency on an idle
+// cluster, with or without the CLOCKREQ nudge.
+func RunIdleRead(cfg IdleReadConfig) (*IdleReadResult, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Replicas
+	hub := transport.NewHub(n, transport.HubOptions{Codec: true})
+	defer hub.Close()
+
+	spec := make([]types.ReplicaID, n)
+	for i := range spec {
+		spec[i] = types.ReplicaID(i)
+	}
+	hosts := make([]*node.Host, n)
+	cores := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		host, err := node.NewHost(types.ReplicaID(i), spec, hub.Endpoint(types.ReplicaID(i)), node.HostOptions{
+			NewLog: func(types.GroupID) storage.Log { return storage.NewNullLog() },
+		})
+		if err != nil {
+			return nil, err
+		}
+		app := &rsm.App{SM: kvstore.New()}
+		nd := host.Group(0)
+		nd.Bind(app)
+		rep := core.New(nd, app, core.Options{
+			ClockTimeInterval: cfg.Delta,
+			NoReadNudge:       cfg.NoNudge,
+		})
+		nd.SetProtocol(rep)
+		hosts[i] = host
+		cores[i] = rep
+	}
+	for _, host := range hosts {
+		if err := host.Start(); err != nil {
+			return nil, fmt.Errorf("start host: %w", err)
+		}
+	}
+	defer func() {
+		for _, host := range hosts {
+			host.Stop()
+		}
+	}()
+
+	ctx := context.Background()
+	fut, err := hosts[0].Group(0).Propose(ctx, kvstore.Put("idle", []byte("v")))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fut.Result(); err != nil {
+		return nil, err
+	}
+	// Let the priming write's commit cascade and trailing CLOCKTIMEs
+	// settle so the first read starts from a genuinely idle cluster.
+	time.Sleep(2 * cfg.Delta)
+
+	// Read at a non-origin replica: its frontier depends on every peer's
+	// clock, the general case.
+	reader := hosts[n-1].Group(0)
+	query := kvstore.Get("idle")
+	var sample stats.Sample
+	for i := 0; i < cfg.Reads; i++ {
+		time.Sleep(cfg.Spacing)
+		start := time.Now()
+		if _, err := reader.Read(ctx, query, node.Linearizable); err != nil {
+			return nil, fmt.Errorf("idle read %d: %w", i, err)
+		}
+		sample.Add(time.Since(start))
+	}
+
+	res := &IdleReadResult{
+		Nudge: !cfg.NoNudge,
+		Delta: cfg.Delta,
+		Reads: sample.Count(),
+		Mean:  sample.Mean(),
+		P50:   sample.Quantile(0.5),
+		P95:   sample.P95(),
+		Min:   sample.Min(),
+		Max:   sample.Max(),
+	}
+	for i, rep := range cores {
+		if i == n-1 {
+			res.Nudges = rep.Nudges()
+		} else {
+			res.NudgeReplies += rep.NudgeReplies()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIdleReadNudge is the A/B for the paper's Section IV idle-read
+// floor: with Δ = 50ms and no write traffic, a linearizable read
+// without the CLOCKREQ nudge waits out the broadcast interval (Δ/2 on
+// average), while the nudge brings it down to a round trip. The
+// assertions leave wide margins — the point is the order-of-magnitude
+// separation, not the exact figures (those go to BENCH_10.json).
+func TestIdleReadNudge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive idle-latency measurement")
+	}
+	const delta = 50 * time.Millisecond
+	reads := 20
+
+	before, err := RunIdleRead(IdleReadConfig{Delta: delta, Reads: reads, NoNudge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := RunIdleRead(IdleReadConfig{Delta: delta, Reads: reads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("idle read, no nudge: mean=%v p50=%v p95=%v max=%v", before.Mean, before.P50, before.P95, before.Max)
+	t.Logf("idle read, nudged:   mean=%v p50=%v p95=%v max=%v nudges=%d replies=%d",
+		after.Mean, after.P50, after.P95, after.Max, after.Nudges, after.NudgeReplies)
+
+	if before.Nudges != 0 {
+		t.Errorf("NoNudge run sent %d CLOCKREQs, want 0", before.Nudges)
+	}
+	if after.Nudges == 0 || after.NudgeReplies == 0 {
+		t.Errorf("nudged run sent %d CLOCKREQs / %d replies, want both > 0", after.Nudges, after.NudgeReplies)
+	}
+	// Without the nudge a read waits for the next Δ tick: the median
+	// must show a real fraction of the interval.
+	if before.P50 < delta/10 {
+		t.Errorf("un-nudged idle read p50 = %v, expected a Δ-bound wait (Δ=%v)", before.P50, delta)
+	}
+	// With the nudge the read completes in about a round trip — far
+	// under the interval.
+	if after.P50 > delta/5 {
+		t.Errorf("nudged idle read p50 = %v, want well under Δ=%v", after.P50, delta)
+	}
+	if after.P50 >= before.P50 {
+		t.Errorf("nudge did not help: p50 %v (nudged) vs %v (not)", after.P50, before.P50)
+	}
+}

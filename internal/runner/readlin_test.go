@@ -209,17 +209,17 @@ func TestReadPathLinearizability(t *testing.T) {
 	// every replica commit almost simultaneously (the origin waits for
 	// the slowest clock), and a deliberately broken read path — serve
 	// immediately, never wait for the watermark — passes undetected.
-	lat := wan.NewMatrix(replicas)
+	// SetOneWay is essential here: Set writes both directions, so a
+	// symmetric-API loop silently re-symmetrizes the matrix as later
+	// iterations overwrite the slow entries.
+	lat := wan.Uniform(replicas, time.Millisecond)
 	for i := types.ReplicaID(0); i < replicas; i++ {
-		for j := types.ReplicaID(0); j < replicas; j++ {
-			switch {
-			case i == j:
-			case j == 2:
-				lat.Set(i, j, 8*time.Millisecond)
-			default:
-				lat.Set(i, j, time.Millisecond)
-			}
+		if i != 2 {
+			lat.SetOneWay(i, 2, 8*time.Millisecond)
 		}
+	}
+	if lat.Asymmetry(0, 2) <= 0 {
+		t.Fatal("latency matrix is not direction-skewed; the staleness window this test depends on does not exist")
 	}
 	h := newMGHarnessLat(t, replicas, groups, lat)
 	var wg sync.WaitGroup

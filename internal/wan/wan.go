@@ -12,8 +12,14 @@ import (
 	"clockrsm/internal/types"
 )
 
-// Matrix holds symmetric one-way message latencies between N replicas.
-// d(i,i) is the intra-data-center one-way latency (typically ~0.3 ms).
+// Matrix holds one-way message latencies between N replicas. d(i,i) is
+// the intra-data-center one-way latency (typically ~0.3 ms). The paper's
+// analytical model assumes symmetric latencies (Section IV) and Set
+// writes both directions; SetOneWay records a per-direction entry for
+// topologies where the assumption is deliberately broken — congested or
+// faulty links whose forward and reverse delays differ, the only
+// topology where read-path staleness is observable (PR 5) and a
+// first-class input to the chaos matrix.
 type Matrix struct {
 	n int
 	d [][]time.Duration
@@ -38,9 +44,23 @@ func (m *Matrix) Set(i, j types.ReplicaID, d time.Duration) {
 	m.d[j][i] = d
 }
 
-// OneWay returns the one-way latency d(i,j). The paper assumes symmetric
-// latencies: d(i,j) = d(j,i) (Section IV).
+// SetOneWay records the latency of the single direction i→j, leaving
+// j→i untouched. Mix freely with Set: lay down the symmetric baseline
+// first, then override the directions that differ.
+func (m *Matrix) SetOneWay(i, j types.ReplicaID, d time.Duration) {
+	m.d[i][j] = d
+}
+
+// OneWay returns the one-way latency d(i,j). With only Set entries this
+// is symmetric, matching the paper's Section IV assumption; SetOneWay
+// entries make d(i,j) and d(j,i) independent.
 func (m *Matrix) OneWay(i, j types.ReplicaID) time.Duration { return m.d[i][j] }
+
+// Asymmetry returns d(i,j) − d(j,i), zero for symmetric links. Tests
+// use it to assert a topology really is (or is not) direction-skewed.
+func (m *Matrix) Asymmetry(i, j types.ReplicaID) time.Duration {
+	return m.d[i][j] - m.d[j][i]
+}
 
 // RTT returns the round-trip latency between i and j.
 func (m *Matrix) RTT(i, j types.ReplicaID) time.Duration { return 2 * m.d[i][j] }

@@ -157,6 +157,40 @@ func TestUniform(t *testing.T) {
 	}
 }
 
+func TestSetOneWayAsymmetric(t *testing.T) {
+	m := Uniform(3, ms(10)) // symmetric baseline
+	if got := m.Asymmetry(0, 1); got != 0 {
+		t.Fatalf("baseline asymmetry = %v, want 0", got)
+	}
+	m.SetOneWay(0, 1, ms(25)) // congest only the forward direction
+	if m.OneWay(0, 1) != ms(25) || m.OneWay(1, 0) != ms(10) {
+		t.Errorf("one-way override leaked: %v / %v", m.OneWay(0, 1), m.OneWay(1, 0))
+	}
+	if got := m.Asymmetry(0, 1); got != ms(15) {
+		t.Errorf("Asymmetry(0,1) = %v, want 15ms", got)
+	}
+	if got := m.Asymmetry(1, 0); got != -ms(15) {
+		t.Errorf("Asymmetry(1,0) = %v, want -15ms", got)
+	}
+	// Links not overridden stay symmetric, and a later Set re-symmetrizes.
+	if got := m.Asymmetry(1, 2); got != 0 {
+		t.Errorf("untouched link asymmetry = %v, want 0", got)
+	}
+	m.Set(0, 1, ms(12))
+	if got := m.Asymmetry(0, 1); got != 0 {
+		t.Errorf("Set did not re-symmetrize: asymmetry %v", got)
+	}
+}
+
+func TestSubMatrixKeepsAsymmetry(t *testing.T) {
+	m := Uniform(4, ms(10))
+	m.SetOneWay(1, 3, ms(40))
+	sub := m.SubMatrix([]types.ReplicaID{1, 3})
+	if got := sub.Asymmetry(0, 1); got != ms(30) {
+		t.Errorf("projected asymmetry = %v, want 30ms", got)
+	}
+}
+
 // Median is always between min and max of the row; Max dominates Median.
 func TestAggregateBoundsProperty(t *testing.T) {
 	f := func(raw [5][5]uint16) bool {
